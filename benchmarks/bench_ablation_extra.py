@@ -1,0 +1,30 @@
+"""Extra ablation (paper §10, footnote 11): cardinality-estimate noise.
+
+Paper: dividing the simulator's cardinality estimates by random factors with a
+median of 5x has little impact on Balsa's final plans, because most learning
+happens after simulation.  The shape to check: the noisy-estimator agent's
+train speedup stays within a small factor of the clean agent's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_table
+
+
+def bench_estimator_noise_ablation(benchmark, scale):
+    result = run_once(
+        benchmark, experiments.run_estimator_noise_ablation, scale, noise_factors=(1.0, 5.0)
+    )
+    print()
+    print(
+        format_table(
+            ["estimate noise factor", "train speedup", "test speedup"],
+            [
+                [r["noise_factor"], r["train_speedup"], r["test_speedup"]]
+                for r in result["rows"]
+            ],
+            title="Estimator-noise ablation (paper §10)",
+        )
+    )
+    clean, noisy = result["rows"][0], result["rows"][1]
+    assert noisy["train_speedup"] >= 0.25 * clean["train_speedup"]

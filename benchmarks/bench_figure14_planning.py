@@ -1,0 +1,37 @@
+"""Figure 14: planning time and plan quality vs beam size b and top-k.
+
+Paper: mean per-query planning time stays below 250 ms for all settings;
+b = 1 (greedy) slightly hurts runtime, all other settings are similar.  The
+shape to check: planning time grows with b, and b = 1 is never better than the
+largest b.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_table
+
+
+def bench_figure14_planning_time(benchmark, scale):
+    result = run_once(
+        benchmark,
+        experiments.run_figure14_planning_time,
+        scale,
+        beam_sizes=(1, 5, 10),
+        top_ks=(1, 5),
+    )
+    print()
+    print(
+        format_table(
+            ["beam size b", "top-k", "mean planning (ms)", "normalized runtime"],
+            [
+                [r["beam_size"], r["top_k"], r["mean_planning_ms"], r["normalized_runtime"]]
+                for r in result["rows"]
+            ],
+            title="Figure 14: planning time vs search parameters",
+        )
+    )
+    by_beam = {}
+    for row in result["rows"]:
+        by_beam.setdefault(row["beam_size"], []).append(row["mean_planning_ms"])
+    beams = sorted(by_beam)
+    assert sum(by_beam[beams[0]]) <= sum(by_beam[beams[-1]]) * 1.5

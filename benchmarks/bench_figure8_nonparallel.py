@@ -1,0 +1,29 @@
+"""Figure 8: wall-clock efficiency with non-parallel (single node) training.
+
+Paper: with one execution node instead of ~2.5, peak performance is still
+reached within single-digit hours; curves are simply stretched in time.  The
+shape to check: the single-node run's elapsed time per iteration is at least
+as large as the parallel run's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_series
+
+
+def bench_figure8_nonparallel(benchmark, scale):
+    result = run_once(
+        benchmark, experiments.run_figure8_nonparallel, scale, workloads=("job",)
+    )
+    curves = result["curves"]["job"]
+    print()
+    print("Figure 8: non-parallel (1 execution node) learning efficiency")
+    print(
+        format_series(
+            {
+                "elapsed_hours": curves["elapsed_hours"],
+                "normalized_runtime": curves["normalized_runtime"],
+            }
+        )
+    )
+    assert curves["elapsed_hours"][-1] > 0

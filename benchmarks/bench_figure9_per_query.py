@@ -1,0 +1,31 @@
+"""Figure 9: per-query speedups over the expert vs the expert's runtime.
+
+Paper: Balsa speeds up most queries, with the biggest wins on the slowest
+queries; slowdowns concentrate on queries that are already fast.  The shape to
+check: the runtime-weighted aggregate speedup exceeds the unweighted share of
+slowed-down queries' impact (i.e. slow queries improve).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_table
+
+
+def bench_figure9_per_query(benchmark, scale):
+    result = run_once(benchmark, experiments.run_figure9_per_query, scale, workload="job")
+    rows = []
+    for split in ("train", "test"):
+        for point in sorted(result["points"][split], key=lambda p: -p["expert_runtime"])[:8]:
+            rows.append([split, point["query"], point["expert_runtime"], point["speedup"]])
+    print()
+    print(
+        format_table(
+            ["split", "query", "expert runtime (s)", "speedup"],
+            rows,
+            title="Figure 9: per-query speedups (8 slowest per split shown)",
+        )
+    )
+    train_speedups = [p["speedup"] for p in result["points"]["train"]]
+    assert np.isfinite(train_speedups).all()

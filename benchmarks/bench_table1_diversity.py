@@ -1,0 +1,25 @@
+"""Table 1: number of unique plans vs number of merged agents.
+
+Paper: 1 / 4 / 8 agents -> 27K / 102K / 197K unique plans (1x / 3.8x / 7.3x);
+the growth should stay close to linear at this reproduction's scale too.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_table
+
+
+def bench_table1_unique_plans(benchmark, scale):
+    result = run_once(
+        benchmark, experiments.run_table1_unique_plans, scale, agent_counts=(1, 2, 4)
+    )
+    print()
+    print(
+        format_table(
+            ["num agents", "unique plans", "ratio vs 1 agent"],
+            [[r["num_agents"], r["unique_plans"], r["ratio"]] for r in result["rows"]],
+            title="Table 1: diversified experiences",
+        )
+    )
+    ratios = [r["ratio"] for r in result["rows"]]
+    assert ratios == sorted(ratios)

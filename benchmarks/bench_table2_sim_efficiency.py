@@ -1,0 +1,33 @@
+"""Table 2: simulation learning efficiency (dataset sizes, collection and train times).
+
+Paper: JOB 516K points / 6.8 min collection / 24 min training; TPC-H is far
+smaller (12K / 1.1 min / 1 min).  The shape to check: JOB-like workloads yield
+orders of magnitude more simulation data than TPC-H, and collection is cheap
+relative to training.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import experiments
+from repro.evaluation.reporting import format_table
+
+
+def bench_table2_simulation_efficiency(benchmark, scale):
+    result = run_once(
+        benchmark,
+        experiments.run_table2_simulation_efficiency,
+        scale,
+        workloads=("job", "job_slow", "tpch"),
+    )
+    print()
+    print(
+        format_table(
+            ["workload", "size", "collection (min)", "train (min)"],
+            [
+                [r["workload"], r["dataset_size"], r["collection_minutes"], r["train_minutes"]]
+                for r in result["rows"]
+            ],
+            title="Table 2: simulation learning efficiency",
+        )
+    )
+    by_workload = {r["workload"]: r for r in result["rows"]}
+    assert by_workload["job"]["dataset_size"] > by_workload["tpch"]["dataset_size"]

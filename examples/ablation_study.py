@@ -1,0 +1,60 @@
+"""Ablation study: which of Balsa's components matter (paper §8.3).
+
+Trains four Balsa variants on the same benchmark — the full agent, no
+simulation bootstrapping, no timeouts, no exploration — and prints their
+learning curves and final performance, mirroring Figures 10-12.
+
+Run with::
+
+    python examples/ablation_study.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import BalsaAgent, BalsaConfig, make_job_benchmark
+from repro.evaluation.reporting import format_series, format_table
+
+
+def main() -> None:
+    benchmark = make_job_benchmark(
+        fact_rows=700, num_queries=24, num_templates=8, test_size=5,
+        size_range=(4, 7), seed=3,
+    )
+    expert_runtimes = benchmark.expert_runtimes()
+    base = BalsaConfig.small(seed=0, num_iterations=10)
+
+    variants = {
+        "full balsa": base,
+        "no simulation": replace(base, use_simulation=False, simulator="none"),
+        "no timeouts": replace(base, use_timeouts=False),
+        "no exploration": replace(base, exploration="none"),
+        "retrain (not on-policy)": replace(base, on_policy=False),
+    }
+
+    curves = {}
+    summary_rows = []
+    for name, config in variants.items():
+        agent = BalsaAgent(benchmark.environment(), config, expert_runtimes=expert_runtimes)
+        agent.train()
+        history = agent.history
+        curves[name] = [m.normalized_runtime for m in history.iterations]
+        summary_rows.append([
+            name,
+            history.iterations[-1].normalized_runtime,
+            history.iterations[-1].unique_plans_seen,
+            sum(m.num_timeouts for m in history.iterations),
+        ])
+
+    print(format_series(curves))
+    print()
+    print(format_table(
+        ["variant", "final normalized runtime", "unique plans", "total timeouts"],
+        summary_rows,
+        title="Ablation summary (lower normalized runtime is better)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

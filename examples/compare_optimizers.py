@@ -1,0 +1,73 @@
+"""Compare optimizers on one workload: experts, Bao, Neo-impl, Balsa, random.
+
+Reproduces the qualitative comparison behind Figure 6 / Figure 15 / Table 3 of
+the paper on a small JOB-like benchmark: every optimizer plans the same
+queries, the plans run on the same simulated engine, and workload runtimes are
+reported side by side.
+
+Run with::
+
+    python examples/compare_optimizers.py
+"""
+
+from __future__ import annotations
+
+from repro import BalsaAgent, BalsaConfig, BaoAgent, NeoAgent, make_job_benchmark
+from repro.baselines.random_agent import RandomPlanAgent
+from repro.evaluation.reporting import format_table
+
+
+def main() -> None:
+    benchmark = make_job_benchmark(
+        fact_rows=700, num_queries=28, num_templates=8, test_size=6,
+        size_range=(4, 7), seed=1,
+    )
+    expert_runtimes = benchmark.expert_runtimes()
+    train, test = benchmark.train_queries, benchmark.test_queries
+
+    def workload(latencies: dict[str, float], queries) -> float:
+        return sum(latencies[q.name] for q in queries)
+
+    rows = []
+
+    # Expert optimizers (PostgreSQL-like bushy search, CommDB-like left-deep).
+    for expert in ("postgres", "commdb"):
+        runtimes = benchmark.expert_runtimes(expert=expert)
+        rows.append([expert, workload(runtimes, train), workload(runtimes, test)])
+
+    # Random plans (the §3 motivation baseline), capped to avoid stalls.
+    random_agent = RandomPlanAgent(benchmark.environment(), seed=0)
+    cap = 50 * workload(expert_runtimes, train)
+    rows.append([
+        "random plans",
+        random_agent.workload_runtime(train, timeout=cap),
+        random_agent.workload_runtime(test, timeout=cap),
+    ])
+
+    # Bao: steer the expert with hint sets.
+    bao = BaoAgent(benchmark.environment(), benchmark.expert("postgres"), seed=0)
+    bao.train(num_iterations=6)
+    rows.append(["bao", bao.workload_runtime(train), bao.workload_runtime(test)])
+
+    # Neo-impl: learn from expert demonstrations, retrain every iteration.
+    config = BalsaConfig.small(seed=0, num_iterations=8)
+    neo = NeoAgent(benchmark.environment(), benchmark.expert("postgres"), config,
+                   expert_runtimes=expert_runtimes)
+    neo.train()
+    rows.append(["neo-impl", neo.workload_runtime(train), neo.workload_runtime(test)])
+
+    # Balsa: no expert demonstrations at all.
+    balsa = BalsaAgent(benchmark.environment(), BalsaConfig.small(seed=0, num_iterations=12),
+                       expert_runtimes=expert_runtimes)
+    balsa.train()
+    rows.append(["balsa", balsa.workload_runtime(train), balsa.workload_runtime(test)])
+
+    print(format_table(
+        ["optimizer", "train workload runtime (s)", "test workload runtime (s)"],
+        rows,
+        title="Workload runtimes on the simulated engine (lower is better)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: train a small Balsa agent on the JOB-like workload.
+
+Builds the synthetic IMDb-like database, the expert baseline and a Balsa agent,
+trains for a handful of real-execution iterations and reports train/test
+workload runtimes against the PostgreSQL-like expert.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BalsaAgent, BalsaConfig, make_job_benchmark
+from repro.evaluation.metrics import speedup
+
+
+def main() -> None:
+    # 1. Build the benchmark: synthetic IMDb-like data, a JOB-like workload
+    #    split into train/test, and the expert optimizers.
+    benchmark = make_job_benchmark(
+        fact_rows=800,          # rows of the central `title` table
+        num_queries=32,         # JOB-like queries (113 in the paper)
+        num_templates=10,
+        test_size=6,
+        size_range=(4, 8),
+        seed=0,
+    )
+    print(f"Training queries: {len(benchmark.train_queries)}")
+    print(f"Test queries:     {len(benchmark.test_queries)}")
+
+    # 2. The expert baseline: plan every query with the PostgreSQL-like
+    #    optimizer and execute the plans on the simulated engine.
+    expert_runtimes = benchmark.expert_runtimes()
+    expert_train = sum(expert_runtimes[q.name] for q in benchmark.train_queries)
+    expert_test = sum(expert_runtimes[q.name] for q in benchmark.test_queries)
+    print(f"Expert train workload runtime: {expert_train:.3f}s (simulated)")
+    print(f"Expert test workload runtime:  {expert_test:.3f}s (simulated)")
+
+    # 3. Train Balsa: simulation bootstrapping followed by safe real-execution
+    #    learning (timeouts + count-based exploration + on-policy updates).
+    config = BalsaConfig.small(seed=0, num_iterations=15)
+    agent = BalsaAgent(benchmark.environment(), config, expert_runtimes=expert_runtimes)
+    agent.train()
+
+    history = agent.history
+    print(f"\nSimulation dataset: {history.sim_dataset_size} points "
+          f"(collected in {history.sim_collection_seconds:.1f}s, "
+          f"trained in {history.sim_train_seconds:.1f}s)")
+    for metrics in history.iterations:
+        flag = " (matches expert)" if metrics.normalized_runtime and metrics.normalized_runtime <= 1 else ""
+        print(f"  iter {metrics.iteration:2d}: normalized runtime "
+              f"{metrics.normalized_runtime:.2f}, unique plans {metrics.unique_plans_seen}, "
+              f"timeouts {metrics.num_timeouts}{flag}")
+
+    # 4. Final evaluation: plan train and test queries with the learned value
+    #    network (no exploration) and compare against the expert.
+    train_latencies = {
+        name: latency for name, (_, latency) in agent.evaluate(benchmark.train_queries).items()
+    }
+    test_latencies = {
+        name: latency for name, (_, latency) in agent.evaluate(benchmark.test_queries).items()
+    }
+    print(f"\nBalsa train speedup over expert: {speedup(train_latencies, expert_runtimes):.2f}x")
+    print(f"Balsa test  speedup over expert: {speedup(test_latencies, expert_runtimes):.2f}x")
+
+    # 5. Inspect one learned plan.
+    query = benchmark.test_queries[0]
+    plan = agent.plan_query(query)
+    print(f"\nLearned plan for {query.name}:")
+    print(plan.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .`` with build isolation) cannot build a wheel.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

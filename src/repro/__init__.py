@@ -1,0 +1,31 @@
+"""Balsa reproduction: a learned query optimizer without expert demonstrations.
+
+The package is organised bottom-up:
+
+- substrates: :mod:`repro.catalog`, :mod:`repro.storage`, :mod:`repro.sql`,
+  :mod:`repro.plans`, :mod:`repro.cardinality`, :mod:`repro.costmodel`,
+  :mod:`repro.execution`, :mod:`repro.optimizer`, :mod:`repro.nn`
+- the learned optimizer: :mod:`repro.featurization`, :mod:`repro.model`,
+  :mod:`repro.search`, :mod:`repro.simulation`, :mod:`repro.agent`
+- baselines and evaluation: :mod:`repro.baselines`, :mod:`repro.diversity`,
+  :mod:`repro.workloads`, :mod:`repro.evaluation`
+
+The most convenient entry points are re-exported here.
+"""
+
+__version__ = "0.1.0"
+
+from repro.api import (
+    BalsaAgent,
+    BalsaConfig,
+    make_job_benchmark,
+    make_tpch_benchmark,
+)
+
+__all__ = [
+    "__version__",
+    "BalsaAgent",
+    "BalsaConfig",
+    "make_job_benchmark",
+    "make_tpch_benchmark",
+]

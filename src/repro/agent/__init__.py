@@ -1,0 +1,31 @@
+"""The Balsa agent: reinforcement learning of the value function (paper §4–§6)."""
+
+from repro.agent.config import BalsaConfig
+from repro.agent.environment import BalsaEnvironment
+from repro.agent.experience import ExecutionRecord, ExperienceBuffer
+from repro.agent.exploration import (
+    CountBasedExploration,
+    EpsilonGreedyExploration,
+    ExplorationStrategy,
+    NoExploration,
+    make_exploration,
+)
+from repro.agent.timeout_policy import TimeoutPolicy
+from repro.agent.history import IterationMetrics, TrainingHistory
+from repro.agent.balsa import BalsaAgent
+
+__all__ = [
+    "BalsaConfig",
+    "BalsaEnvironment",
+    "ExecutionRecord",
+    "ExperienceBuffer",
+    "CountBasedExploration",
+    "EpsilonGreedyExploration",
+    "ExplorationStrategy",
+    "NoExploration",
+    "make_exploration",
+    "TimeoutPolicy",
+    "IterationMetrics",
+    "TrainingHistory",
+    "BalsaAgent",
+]

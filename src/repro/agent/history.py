@@ -1,0 +1,87 @@
+"""Per-iteration training metrics recorded by agents.
+
+The evaluation runners derive every learning-efficiency figure of the paper
+(Figures 7, 8, 10–13, 15, 17, 18) from these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plans.analysis import OperatorComposition
+
+
+@dataclass
+class IterationMetrics:
+    """Metrics of one real-execution training iteration.
+
+    Attributes:
+        iteration: Iteration index (0-based).
+        train_runtime: Sum of the latencies of the plans executed this
+            iteration (timed-out plans contribute the timeout budget).
+        best_known_runtime: Workload runtime using the best plan found so far
+            for every training query.
+        normalized_runtime: ``train_runtime`` divided by the expert's workload
+            runtime (when an expert reference is available).
+        elapsed_seconds: Cumulative simulated wall-clock time (pipelined
+            planning + cluster execution + model updates) since real-execution
+            training started.
+        unique_plans_seen: Cumulative number of distinct (query, plan) pairs
+            executed.
+        num_timeouts: Executions cut off by the timeout this iteration.
+        planning_seconds: Total planning time this iteration.
+        update_seconds: Value-network update time this iteration.
+        timeout_budget: The timeout applied this iteration (None = unlimited).
+        test_runtime: Test-set workload runtime (only on evaluation iterations).
+        test_normalized_runtime: Test runtime normalised by the expert.
+        composition: Operator/shape composition of this iteration's plans.
+    """
+
+    iteration: int
+    train_runtime: float
+    best_known_runtime: float
+    normalized_runtime: float | None
+    elapsed_seconds: float
+    unique_plans_seen: int
+    num_timeouts: int
+    planning_seconds: float
+    update_seconds: float
+    timeout_budget: float | None = None
+    test_runtime: float | None = None
+    test_normalized_runtime: float | None = None
+    composition: OperatorComposition | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """Full history of one agent training run.
+
+    Attributes:
+        iterations: Per-iteration metrics, in order.
+        sim_dataset_size: Size of the simulation dataset (0 when simulation is
+            disabled).
+        sim_collection_seconds: Simulation data-collection time.
+        sim_train_seconds: V_sim training time.
+    """
+
+    iterations: list[IterationMetrics] = field(default_factory=list)
+    sim_dataset_size: int = 0
+    sim_collection_seconds: float = 0.0
+    sim_train_seconds: float = 0.0
+
+    def final_normalized_runtime(self) -> float | None:
+        """Normalised train runtime of the last iteration."""
+        if not self.iterations:
+            return None
+        return self.iterations[-1].normalized_runtime
+
+    def elapsed_hours(self) -> list[float]:
+        """Cumulative elapsed time per iteration, in hours."""
+        return [m.elapsed_seconds / 3600.0 for m in self.iterations]
+
+    def time_to_match_expert(self) -> float | None:
+        """Elapsed seconds until the train runtime first matches the expert."""
+        for metrics in self.iterations:
+            if metrics.normalized_runtime is not None and metrics.normalized_runtime <= 1.0:
+                return metrics.elapsed_seconds
+        return None

@@ -1,0 +1,42 @@
+"""Convenience facade re-exporting the library's main entry points.
+
+Typical usage::
+
+    from repro import BalsaConfig, BalsaAgent, make_job_benchmark
+
+    benchmark = make_job_benchmark(fact_rows=1000, num_queries=40)
+    config = BalsaConfig.small(seed=0, num_iterations=20)
+    agent = BalsaAgent(
+        benchmark.environment(), config,
+        expert_runtimes=benchmark.expert_runtimes(),
+    )
+    agent.train()
+    print(agent.workload_runtime(benchmark.test_queries))
+"""
+
+from repro.agent.balsa import BalsaAgent
+from repro.agent.config import BalsaConfig
+from repro.agent.environment import BalsaEnvironment
+from repro.baselines.bao import BaoAgent
+from repro.baselines.neo import NeoAgent
+from repro.diversity.merge import merge_agent_experiences, retrain_from_experience
+from repro.evaluation.experiments import ExperimentScale
+from repro.workloads.benchmark import (
+    WorkloadBenchmark,
+    make_job_benchmark,
+    make_tpch_benchmark,
+)
+
+__all__ = [
+    "BalsaAgent",
+    "BalsaConfig",
+    "BalsaEnvironment",
+    "BaoAgent",
+    "NeoAgent",
+    "merge_agent_experiences",
+    "retrain_from_experience",
+    "ExperimentScale",
+    "WorkloadBenchmark",
+    "make_job_benchmark",
+    "make_tpch_benchmark",
+]

@@ -1,0 +1,17 @@
+"""Learned-optimizer baselines the paper compares against (§8.4).
+
+- :class:`~repro.baselines.neo.NeoAgent` — "Neo-impl": learns from expert
+  demonstrations, retrains its value network from scratch on all experience
+  every iteration, and uses none of Balsa's safety machinery.
+- :class:`~repro.baselines.bao.BaoAgent` — Bao: steers the expert optimizer by
+  choosing a hint set (operator subset) per query.
+- :class:`~repro.baselines.random_agent.RandomPlanAgent` — randomly
+  initialised agents that emit random valid plans, used by the §3 motivation
+  experiment.
+"""
+
+from repro.baselines.neo import NeoAgent
+from repro.baselines.bao import BaoAgent
+from repro.baselines.random_agent import RandomPlanAgent
+
+__all__ = ["NeoAgent", "BaoAgent", "RandomPlanAgent"]

@@ -1,0 +1,52 @@
+"""Randomly initialised agents that output random valid plans.
+
+Paper §3 motivates simulation bootstrapping with a simple experiment: randomly
+initialise 6 agents without simulation learning and have them optimize the
+training queries; the median agent's plans execute 45x slower than the expert
+optimizer's (the worst 79x).  A randomly initialised value network induces an
+essentially arbitrary preference over plans, so this baseline models such an
+agent directly as a uniform sampler over valid plans.
+"""
+
+from __future__ import annotations
+
+from repro.agent.environment import BalsaEnvironment
+from repro.optimizer.quickpick import random_plan
+from repro.plans.nodes import PlanNode
+from repro.sql.query import Query
+from repro.utils.rng import derive_seed, new_rng
+
+
+class RandomPlanAgent:
+    """Emits uniformly random valid plans for each query.
+
+    Args:
+        environment: The workload environment (used for execution).
+        seed: RNG seed distinguishing the random agents.
+    """
+
+    def __init__(self, environment: BalsaEnvironment, seed: int = 0):
+        self.environment = environment
+        self.seed = seed
+
+    def plan_query(self, query: Query) -> PlanNode:
+        """A random valid plan for ``query`` (deterministic per agent+query)."""
+        return random_plan(query, new_rng(derive_seed(self.seed, query.name)))
+
+    def workload_runtime(self, queries, timeout: float | None = None) -> float:
+        """Execute one random plan per query and sum the latencies.
+
+        Args:
+            queries: The workload to "optimize".
+            timeout: Optional per-query latency cap (random plans can be
+                disastrous; a cap models an operator killing runaway queries).
+
+        Returns:
+            The workload runtime in simulated seconds.
+        """
+        total = 0.0
+        for query in queries:
+            plan = self.plan_query(query)
+            result, _ = self.environment.execute(query, plan, timeout=timeout)
+            total += result.latency
+        return total

@@ -1,0 +1,40 @@
+"""The cardinality-estimator interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sql.query import Query
+
+
+class CardinalityEstimator(abc.ABC):
+    """Estimates result sizes of (sub)queries.
+
+    Cost models call :meth:`estimate` with the alias subset corresponding to a
+    plan subtree; featurisation calls :meth:`selectivity` for the per-table
+    query encoding (paper §7: "A query is featurized as a vector
+    [table → selectivity]").
+    """
+
+    @abc.abstractmethod
+    def base_rows(self, query: Query, alias: str) -> float:
+        """Row count of the base table behind ``alias`` (no filters)."""
+
+    @abc.abstractmethod
+    def estimate(self, query: Query, aliases: frozenset[str]) -> float:
+        """Estimated cardinality of the query restricted to ``aliases``.
+
+        Args:
+            query: The full query.
+            aliases: A non-empty subset of the query's aliases.  A singleton
+                set means the filtered base table.
+
+        Returns:
+            The estimated number of rows (>= 0; may be fractional).
+        """
+
+    def selectivity(self, query: Query, alias: str) -> float:
+        """Estimated selectivity of the filters on ``alias`` (0..1)."""
+        base = max(1.0, self.base_rows(query, alias))
+        filtered = self.estimate(query, frozenset((alias,)))
+        return min(1.0, max(0.0, filtered / base))

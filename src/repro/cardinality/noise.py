@@ -1,0 +1,53 @@
+"""Noise injection for cardinality estimates.
+
+Paper §10 (footnote 11): *"We tried making them even more inaccurate, by
+dividing them by random noises (a median noise factor of 5x), and saw little
+impact on Balsa's plans."*  :class:`NoisyEstimator` reproduces that protocol:
+each distinct (query, alias set) estimate is divided by a log-normally
+distributed noise factor, deterministically derived from a seed so repeated
+calls agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cardinality.base import CardinalityEstimator
+from repro.sql.query import Query
+from repro.utils.rng import derive_seed
+
+
+class NoisyEstimator(CardinalityEstimator):
+    """Wraps an estimator and corrupts its estimates with random factors.
+
+    Args:
+        inner: The estimator to corrupt.
+        median_factor: Median of the noise-factor distribution (5.0 reproduces
+            the paper's experiment).
+        seed: Root seed; each (query, alias set) pair gets an independent,
+            stable factor.
+    """
+
+    def __init__(
+        self, inner: CardinalityEstimator, median_factor: float = 5.0, seed: int = 0
+    ):
+        if median_factor <= 0:
+            raise ValueError("median_factor must be positive")
+        self.inner = inner
+        self.median_factor = float(median_factor)
+        self.seed = seed
+
+    def base_rows(self, query: Query, alias: str) -> float:
+        return self.inner.base_rows(query, alias)
+
+    def estimate(self, query: Query, aliases: frozenset[str]) -> float:
+        estimate = self.inner.estimate(query, aliases)
+        return estimate / self._factor(query, aliases)
+
+    def _factor(self, query: Query, aliases: frozenset[str]) -> float:
+        rng = np.random.default_rng(
+            derive_seed(self.seed, query.name, *sorted(aliases))
+        )
+        # Log-normal with median = median_factor; sigma chosen so factors span
+        # roughly one order of magnitude.
+        return float(np.exp(np.log(self.median_factor) + rng.normal(0.0, 0.75)))

@@ -1,0 +1,30 @@
+"""Schemas and synthetic data generation.
+
+The paper evaluates on the real IMDb dataset (Join Order Benchmark) and
+TPC-H SF-10.  Neither is available offline, so this package provides
+structurally faithful synthetic equivalents:
+
+- :func:`repro.catalog.imdb.make_imdb_schema` — 16 tables mirroring the IMDb
+  schema used by JOB (title, cast_info, movie_companies, ...), with the same
+  PK/FK graph and Zipf-skewed foreign keys / categorical columns.
+- :func:`repro.catalog.tpch.make_tpch_schema` — the 8 TPC-H tables with
+  uniform value distributions, as in the benchmark spec.
+
+Scale is controlled by a single ``scale`` multiplier so tests and benchmarks
+can run on tiny instances while examples use larger ones.
+"""
+
+from repro.catalog.schema import ColumnDef, ForeignKey, Schema, TableDef
+from repro.catalog.datagen import generate_database
+from repro.catalog.imdb import make_imdb_schema
+from repro.catalog.tpch import make_tpch_schema
+
+__all__ = [
+    "ColumnDef",
+    "ForeignKey",
+    "Schema",
+    "TableDef",
+    "generate_database",
+    "make_imdb_schema",
+    "make_tpch_schema",
+]

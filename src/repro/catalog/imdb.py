@@ -1,0 +1,138 @@
+"""A synthetic IMDb-like schema mirroring the Join Order Benchmark's structure.
+
+The real JOB runs over 21 IMDb tables.  We model the 16 tables that appear in
+the benchmark's join templates, preserving the characteristic star/snowflake
+shape around ``title``: large fact tables (``cast_info``, ``movie_info``,
+``movie_keyword``, ``movie_companies``) referencing ``title`` and small
+dimension tables (``company_type``, ``info_type``, ``kind_type``, ...).
+
+Row counts at ``scale=1.0`` are chosen to keep the *ratios* between tables
+similar to IMDb (cast_info is ~10x title; dimension tables are tiny) while the
+absolute sizes stay small enough for pure-Python experimentation.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import ColumnDef, ColumnKind, ForeignKey, Schema, TableDef
+
+_PK = ColumnKind.PRIMARY_KEY
+_FK = ColumnKind.FOREIGN_KEY
+_CAT = ColumnKind.CATEGORICAL
+_NUM = ColumnKind.NUMERIC
+
+
+def make_imdb_schema(fact_rows: int = 4000) -> Schema:
+    """Build the synthetic IMDb-like schema.
+
+    Args:
+        fact_rows: Base row count for the central ``title`` table at scale 1.0.
+            Other tables scale proportionally (cast_info ~ 6x, dimensions ~1%).
+
+    Returns:
+        A validated :class:`~repro.catalog.schema.Schema` named ``"imdb"``.
+    """
+    n = int(fact_rows)
+    schema = Schema(name="imdb")
+
+    # --- dimension tables -------------------------------------------------
+    schema.add(TableDef("kind_type", max(8, n // 500), (
+        ColumnDef("kind", _CAT, distinct=7, skew=0.0),
+    )))
+    schema.add(TableDef("company_type", max(4, n // 1000), (
+        ColumnDef("kind", _CAT, distinct=4, skew=0.0),
+    )))
+    schema.add(TableDef("info_type", max(40, n // 100), (
+        ColumnDef("info", _CAT, distinct=40, skew=0.0),
+    )))
+    schema.add(TableDef("link_type", max(10, n // 400), (
+        ColumnDef("link", _CAT, distinct=10, skew=0.0),
+    )))
+    schema.add(TableDef("role_type", max(12, n // 400), (
+        ColumnDef("role", _CAT, distinct=12, skew=0.0),
+    )))
+    schema.add(TableDef("comp_cast_type", max(4, n // 1000), (
+        ColumnDef("kind", _CAT, distinct=4, skew=0.0),
+    )))
+    schema.add(TableDef("keyword", max(100, n // 3), (
+        ColumnDef("keyword_group", _CAT, distinct=50, skew=1.1),
+    )))
+    schema.add(TableDef("company_name", max(80, n // 4), (
+        ColumnDef("country_code", _CAT, distinct=60, skew=1.2),
+        ColumnDef("name_group", _CAT, distinct=40, skew=0.8),
+    )))
+    schema.add(TableDef("name", n, (
+        ColumnDef("gender", _CAT, distinct=3, skew=0.3),
+        ColumnDef("name_group", _CAT, distinct=64, skew=0.7),
+    )))
+    schema.add(TableDef("char_name", n, (
+        ColumnDef("name_group", _CAT, distinct=64, skew=0.9),
+    )))
+
+    # --- the central fact table -------------------------------------------
+    schema.add(TableDef("title", n, (
+        ColumnDef("kind_id", _FK, skew=1.0),
+        ColumnDef("production_year", _NUM, low=1880, high=2020),
+        ColumnDef("episode_nr", _NUM, low=0, high=100),
+        ColumnDef("season_nr", _NUM, low=0, high=30),
+    ), (
+        ForeignKey("kind_id", "kind_type"),
+    )))
+
+    # --- large fact tables referencing title -------------------------------
+    schema.add(TableDef("movie_companies", 3 * n, (
+        ColumnDef("movie_id", _FK, skew=1.1),
+        ColumnDef("company_id", _FK, skew=1.2),
+        ColumnDef("company_type_id", _FK, skew=0.6),
+        ColumnDef("note_group", _CAT, distinct=20, skew=1.0),
+    ), (
+        ForeignKey("movie_id", "title"),
+        ForeignKey("company_id", "company_name"),
+        ForeignKey("company_type_id", "company_type"),
+    )))
+    schema.add(TableDef("movie_info", 4 * n, (
+        ColumnDef("movie_id", _FK, skew=1.0),
+        ColumnDef("info_type_id", _FK, skew=0.8),
+        ColumnDef("info_group", _CAT, distinct=100, skew=1.2),
+    ), (
+        ForeignKey("movie_id", "title"),
+        ForeignKey("info_type_id", "info_type"),
+    )))
+    schema.add(TableDef("movie_info_idx", 2 * n, (
+        ColumnDef("movie_id", _FK, skew=0.9),
+        ColumnDef("info_type_id", _FK, skew=0.7),
+        ColumnDef("info_rank", _NUM, low=0, high=10),
+    ), (
+        ForeignKey("movie_id", "title"),
+        ForeignKey("info_type_id", "info_type"),
+    )))
+    schema.add(TableDef("movie_keyword", 3 * n, (
+        ColumnDef("movie_id", _FK, skew=1.2),
+        ColumnDef("keyword_id", _FK, skew=1.3),
+    ), (
+        ForeignKey("movie_id", "title"),
+        ForeignKey("keyword_id", "keyword"),
+    )))
+    schema.add(TableDef("cast_info", 6 * n, (
+        ColumnDef("movie_id", _FK, skew=1.1),
+        ColumnDef("person_id", _FK, skew=1.3),
+        ColumnDef("person_role_id", _FK, skew=1.2, null_fraction=0.2),
+        ColumnDef("role_id", _FK, skew=0.7),
+        ColumnDef("nr_order", _NUM, low=0, high=60),
+    ), (
+        ForeignKey("movie_id", "title"),
+        ForeignKey("person_id", "name"),
+        ForeignKey("person_role_id", "char_name"),
+        ForeignKey("role_id", "role_type"),
+    )))
+    schema.add(TableDef("movie_link", n // 2, (
+        ColumnDef("movie_id", _FK, skew=0.9),
+        ColumnDef("linked_movie_id", _FK, skew=0.9),
+        ColumnDef("link_type_id", _FK, skew=0.5),
+    ), (
+        ForeignKey("movie_id", "title"),
+        ForeignKey("linked_movie_id", "title"),
+        ForeignKey("link_type_id", "link_type"),
+    )))
+
+    schema.validate()
+    return schema

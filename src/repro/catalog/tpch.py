@@ -1,0 +1,96 @@
+"""A synthetic TPC-H schema (8 tables, uniform distributions).
+
+TPC-H data is generated from uniform distributions (paper §8.1), so columns
+here use no skew.  Row ratios follow the TPC-H spec
+(lineitem : orders : partsupp : part/customer : supplier : nation : region
+≈ 6,000,000 : 1,500,000 : 800,000 : 200,000/150,000 : 10,000 : 25 : 5 at SF 1),
+scaled down to stay tractable.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import ColumnDef, ColumnKind, ForeignKey, Schema, TableDef
+
+_FK = ColumnKind.FOREIGN_KEY
+_CAT = ColumnKind.CATEGORICAL
+_NUM = ColumnKind.NUMERIC
+
+
+def make_tpch_schema(base_rows: int = 1500) -> Schema:
+    """Build the synthetic TPC-H schema.
+
+    Args:
+        base_rows: Row count of ``orders`` at scale 1.0; all other tables keep
+            the spec's relative proportions.
+
+    Returns:
+        A validated :class:`~repro.catalog.schema.Schema` named ``"tpch"``.
+    """
+    n = int(base_rows)
+    schema = Schema(name="tpch")
+
+    schema.add(TableDef("region", 5, (
+        ColumnDef("r_name", _CAT, distinct=5, skew=0.0),
+    )))
+    schema.add(TableDef("nation", 25, (
+        ColumnDef("n_regionkey", _FK, skew=0.0),
+        ColumnDef("n_name", _CAT, distinct=25, skew=0.0),
+    ), (
+        ForeignKey("n_regionkey", "region"),
+    )))
+    schema.add(TableDef("supplier", max(10, n // 150), (
+        ColumnDef("s_nationkey", _FK, skew=0.0),
+        ColumnDef("s_acctbal", _NUM, low=-1000, high=10000),
+    ), (
+        ForeignKey("s_nationkey", "nation"),
+    )))
+    schema.add(TableDef("customer", n // 10, (
+        ColumnDef("c_nationkey", _FK, skew=0.0),
+        ColumnDef("c_mktsegment", _CAT, distinct=5, skew=0.0),
+        ColumnDef("c_acctbal", _NUM, low=-1000, high=10000),
+    ), (
+        ForeignKey("c_nationkey", "nation"),
+    )))
+    schema.add(TableDef("part", n // 8, (
+        ColumnDef("p_brand", _CAT, distinct=25, skew=0.0),
+        ColumnDef("p_type", _CAT, distinct=150, skew=0.0),
+        ColumnDef("p_size", _NUM, low=1, high=50),
+        ColumnDef("p_container", _CAT, distinct=40, skew=0.0),
+    )))
+    schema.add(TableDef("partsupp", n // 2, (
+        ColumnDef("ps_partkey", _FK, skew=0.0),
+        ColumnDef("ps_suppkey", _FK, skew=0.0),
+        ColumnDef("ps_supplycost", _NUM, low=1, high=1000),
+    ), (
+        ForeignKey("ps_partkey", "part"),
+        ForeignKey("ps_suppkey", "supplier"),
+    )))
+    schema.add(TableDef("orders", n, (
+        ColumnDef("o_custkey", _FK, skew=0.0),
+        ColumnDef("o_orderstatus", _CAT, distinct=3, skew=0.0),
+        ColumnDef("o_orderdate", _NUM, low=0, high=2500),
+        ColumnDef("o_orderpriority", _CAT, distinct=5, skew=0.0),
+        ColumnDef("o_shippriority", _CAT, distinct=2, skew=0.0),
+    ), (
+        ForeignKey("o_custkey", "customer"),
+    )))
+    schema.add(TableDef("lineitem", 4 * n, (
+        ColumnDef("l_orderkey", _FK, skew=0.0),
+        ColumnDef("l_partkey", _FK, skew=0.0),
+        ColumnDef("l_suppkey", _FK, skew=0.0),
+        ColumnDef("l_shipdate", _NUM, low=0, high=2500),
+        ColumnDef("l_receiptdate", _NUM, low=0, high=2550),
+        ColumnDef("l_commitdate", _NUM, low=0, high=2520),
+        ColumnDef("l_shipmode", _CAT, distinct=7, skew=0.0),
+        ColumnDef("l_shipinstruct", _CAT, distinct=4, skew=0.0),
+        ColumnDef("l_quantity", _NUM, low=1, high=50),
+        ColumnDef("l_discount", _NUM, low=0, high=10),
+        ColumnDef("l_returnflag", _CAT, distinct=3, skew=0.0),
+    ), (
+        ForeignKey("l_orderkey", "orders"),
+        ForeignKey("l_partkey", "part"),
+        ForeignKey("l_suppkey", "supplier"),
+    )))
+
+    schema.validate()
+    return schema

@@ -1,0 +1,39 @@
+"""The cost-model interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.plans.nodes import JoinNode, PlanNode
+from repro.sql.query import Query
+
+
+class CostModel(abc.ABC):
+    """Scores a (partial or complete) plan for a query.
+
+    Cost models are the "simulators" of the paper: quick-to-evaluate functions
+    ``C : plan -> cost`` that never execute anything.  All cost models here are
+    *additive*: the cost of a plan is the sum of per-node local costs, which
+    lets the dynamic-programming enumerator compute costs incrementally.
+    """
+
+    #: Whether the model distinguishes physical operators.  Logical-only models
+    #: (``Cout``) ignore scan/join operator choices entirely (paper footnote 4).
+    is_physical: bool = False
+
+    @abc.abstractmethod
+    def node_cost(self, query: Query, node: PlanNode) -> float:
+        """Local cost contributed by ``node``'s root operator alone."""
+
+    def cost(self, query: Query, plan: PlanNode) -> float:
+        """Total cost of ``plan``: the sum of all nodes' local costs."""
+        total = self.node_cost(query, plan)
+        if isinstance(plan, JoinNode):
+            total += self.cost(query, plan.left) + self.cost(query, plan.right)
+        return total
+
+    def combine(
+        self, query: Query, node: JoinNode, left_cost: float, right_cost: float
+    ) -> float:
+        """Total cost of a join given its children's already-computed totals."""
+        return self.node_cost(query, node) + left_cost + right_cost

@@ -1,0 +1,58 @@
+"""The :math:`C_{mm}` in-memory cost model (Leis et al., "How good are query
+optimizers, really?").
+
+``Cmm`` refines ``Cout`` with a little physical knowledge suited to in-memory
+execution: hash joins pay for building on the smaller input, nested-loop joins
+pay a per-pair factor unless an index makes lookups cheap, and index lookups
+carry a constant penalty (:math:`\\tau`) relative to sequential access.  The
+paper lists it (§3.3) as an example of a cost model with "progressively more
+physical operator knowledge" that users may plug in instead of ``Cout``.
+"""
+
+from __future__ import annotations
+
+from repro.cardinality.base import CardinalityEstimator
+from repro.costmodel.base import CostModel
+from repro.plans.nodes import JoinNode, JoinOperator, PlanNode, ScanNode
+from repro.sql.query import Query
+
+
+class CmmCostModel(CostModel):
+    """A lightweight physical cost model for in-memory settings.
+
+    Args:
+        estimator: Cardinality estimator.
+        tau: Relative cost of an index lookup vs. touching a tuple
+            sequentially (Leis et al. use 0.2).
+        nested_loop_penalty: Per-pair cost factor for non-indexed nested loops.
+    """
+
+    is_physical = True
+
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        tau: float = 0.2,
+        nested_loop_penalty: float = 0.01,
+    ):
+        self.estimator = estimator
+        self.tau = tau
+        self.nested_loop_penalty = nested_loop_penalty
+
+    def node_cost(self, query: Query, node: PlanNode) -> float:
+        if isinstance(node, ScanNode):
+            return self.estimator.estimate(query, node.leaf_aliases)
+        if isinstance(node, JoinNode):
+            left_rows = self.estimator.estimate(query, node.left.leaf_aliases)
+            right_rows = self.estimator.estimate(query, node.right.leaf_aliases)
+            out_rows = self.estimator.estimate(query, node.leaf_aliases)
+            if node.operator is JoinOperator.HASH_JOIN:
+                return out_rows + min(left_rows, right_rows) * 2.0 + max(left_rows, right_rows)
+            if node.operator is JoinOperator.MERGE_JOIN:
+                return out_rows + left_rows + right_rows
+            # Nested loop.
+            if isinstance(node.right, ScanNode):
+                # Index-nested-loop approximation: tau per outer probe.
+                return out_rows + left_rows * (1.0 + self.tau)
+            return out_rows + left_rows * right_rows * self.nested_loop_penalty
+        raise TypeError(f"unknown plan node type {type(node)!r}")

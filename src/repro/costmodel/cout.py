@@ -1,0 +1,35 @@
+"""The minimal :math:`C_{out}` cost model (paper §3.1).
+
+.. math::
+
+    C_{out}(T) = |T|                                  \\text{ if } T \\text{ is a table/selection} \\\\
+    C_{out}(T) = |T| + C_{out}(T_1) + C_{out}(T_2)    \\text{ if } T = T_1 \\bowtie T_2
+
+where :math:`|T|` is the *estimated* cardinality from a cardinality estimator.
+The model is logical-only: physical scan and join operators are ignored.
+"""
+
+from __future__ import annotations
+
+from repro.cardinality.base import CardinalityEstimator
+from repro.costmodel.base import CostModel
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.sql.query import Query
+
+
+class CoutCostModel(CostModel):
+    """Sum of estimated result sizes of all operators in the plan.
+
+    Args:
+        estimator: Cardinality estimator providing :math:`|T|`.
+    """
+
+    is_physical = False
+
+    def __init__(self, estimator: CardinalityEstimator):
+        self.estimator = estimator
+
+    def node_cost(self, query: Query, node: PlanNode) -> float:
+        if isinstance(node, (ScanNode, JoinNode)):
+            return self.estimator.estimate(query, node.leaf_aliases)
+        raise TypeError(f"unknown plan node type {type(node)!r}")

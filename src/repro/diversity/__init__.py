@@ -1,0 +1,13 @@
+"""Diversified experiences (paper §6): merge several agents' experience and retrain."""
+
+from repro.diversity.merge import (
+    count_unique_plans,
+    merge_agent_experiences,
+    retrain_from_experience,
+)
+
+__all__ = [
+    "count_unique_plans",
+    "merge_agent_experiences",
+    "retrain_from_experience",
+]

@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment results (tables and curve series)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render a simple aligned text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values (converted with ``str``; floats get 3 decimals).
+        title: Optional title line.
+
+    Returns:
+        The rendered table as a string.
+    """
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered_rows = [[render(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered_rows)) if rendered_rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]], x_label: str = "iteration"
+) -> str:
+    """Render named numeric series (learning curves) as aligned columns."""
+    names = list(series)
+    length = max((len(values) for values in series.values()), default=0)
+    headers = [x_label] + names
+    rows = []
+    for i in range(length):
+        row: list[object] = [i]
+        for name in names:
+            values = series[name]
+            row.append(float(values[i]) if i < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows)

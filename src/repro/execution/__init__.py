@@ -1,0 +1,30 @@
+"""Simulated execution engine.
+
+This package replaces PostgreSQL / "CommDB" as the environment Balsa learns
+from.  Plans are *actually executed* against the in-memory column store: scans
+apply filter predicates, joins compute true matching row combinations, and the
+engine converts the operator work into a deterministic latency via
+:class:`~repro.execution.latency.LatencyModel`.
+
+Because the work depends on true intermediate cardinalities and the physical
+operators chosen, the environment exhibits the properties Balsa's learning
+signal relies on: join-order sensitivity, index-vs-scan trade-offs and
+catastrophic (orders-of-magnitude slower) plans, which timeouts then cut short
+(paper §4.3).
+"""
+
+from repro.execution.engine import ExecutionEngine, ExecutionResult
+from repro.execution.latency import LatencyModel
+from repro.execution.plan_cache import PlanCache
+from repro.execution.hints import HintSet, STANDARD_HINT_SETS
+from repro.execution.cluster import ExecutionCluster
+
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionResult",
+    "LatencyModel",
+    "PlanCache",
+    "HintSet",
+    "STANDARD_HINT_SETS",
+    "ExecutionCluster",
+]

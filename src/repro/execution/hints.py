@@ -1,0 +1,71 @@
+"""Hint sets: restrictions on the physical operators an optimizer may use.
+
+Two users of hint sets exist in the paper:
+
+- plans produced by Balsa are injected into the engine via ``pg_hint_plan``;
+  in this reproduction injection is trivial because the engine executes
+  exactly the plan it is given.
+- the Bao baseline (§8.4.1) steers the *expert* optimizer by choosing, per
+  query, a hint set that disables some operators.  :data:`STANDARD_HINT_SETS`
+  provides the operator-disabling arms used by our Bao implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plans.nodes import JoinOperator, ScanOperator
+
+
+@dataclass(frozen=True)
+class HintSet:
+    """A set of allowed physical operators.
+
+    Attributes:
+        name: Human-readable hint-set name (e.g. ``"no_hashjoin"``).
+        join_operators: Join operators the optimizer may use.
+        scan_operators: Scan operators the optimizer may use.
+    """
+
+    name: str
+    join_operators: tuple[JoinOperator, ...] = field(
+        default=(JoinOperator.HASH_JOIN, JoinOperator.MERGE_JOIN, JoinOperator.NESTED_LOOP)
+    )
+    scan_operators: tuple[ScanOperator, ...] = field(
+        default=(ScanOperator.SEQ_SCAN, ScanOperator.INDEX_SCAN)
+    )
+
+    def allows_join(self, operator: JoinOperator) -> bool:
+        """Whether the hint set permits ``operator``."""
+        return operator in self.join_operators
+
+    def allows_scan(self, operator: ScanOperator) -> bool:
+        """Whether the hint set permits ``operator``."""
+        return operator in self.scan_operators
+
+
+def _arm(name: str, joins: tuple[JoinOperator, ...], scans: tuple[ScanOperator, ...]) -> HintSet:
+    return HintSet(name=name, join_operators=joins, scan_operators=scans)
+
+
+_ALL_JOINS = (JoinOperator.HASH_JOIN, JoinOperator.MERGE_JOIN, JoinOperator.NESTED_LOOP)
+_ALL_SCANS = (ScanOperator.SEQ_SCAN, ScanOperator.INDEX_SCAN)
+
+#: The operator-disabling arms used by the Bao baseline.  These mirror the
+#: spirit of Bao's 48 hint sets: combinations of disabling hash joins, merge
+#: joins, nested loops, index scans and sequential scans, pruned to the arms
+#: that remain executable in this engine.
+STANDARD_HINT_SETS: tuple[HintSet, ...] = (
+    _arm("all_operators", _ALL_JOINS, _ALL_SCANS),
+    _arm("no_hashjoin", (JoinOperator.MERGE_JOIN, JoinOperator.NESTED_LOOP), _ALL_SCANS),
+    _arm("no_mergejoin", (JoinOperator.HASH_JOIN, JoinOperator.NESTED_LOOP), _ALL_SCANS),
+    _arm("no_nestloop", (JoinOperator.HASH_JOIN, JoinOperator.MERGE_JOIN), _ALL_SCANS),
+    _arm("no_indexscan", _ALL_JOINS, (ScanOperator.SEQ_SCAN,)),
+    _arm("hash_only", (JoinOperator.HASH_JOIN,), _ALL_SCANS),
+    _arm("nestloop_index_only", (JoinOperator.NESTED_LOOP,), _ALL_SCANS),
+    _arm(
+        "no_hash_no_index",
+        (JoinOperator.MERGE_JOIN, JoinOperator.NESTED_LOOP),
+        (ScanOperator.SEQ_SCAN,),
+    ),
+)

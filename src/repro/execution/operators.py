@@ -1,0 +1,235 @@
+"""Physical operator implementations.
+
+Each operator both *computes its true output* (an
+:class:`~repro.execution.result.IntermediateResult`) and *accounts its work*
+under the :class:`~repro.execution.latency.LatencyModel` constants.  The output
+of a join does not depend on the physical operator (hash, merge, nested loop
+all produce the same rows); the work does, which is what differentiates good
+and bad physical plans.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.execution.latency import LatencyModel
+from repro.execution.result import (
+    IntermediateResult,
+    estimate_match_count,
+    join_results,
+)
+from repro.plans.nodes import JoinNode, JoinOperator, ScanNode, ScanOperator
+from repro.sql.expr import conjunction_mask
+from repro.sql.query import Query
+from repro.storage.database import Database
+
+
+class IntermediateExplosionError(RuntimeError):
+    """Raised when a join's true output exceeds the materialisation guard.
+
+    Plans that hit this guard are the simulated equivalent of the paper's
+    "disastrous plans": the engine reports them as exceeding any reasonable
+    work budget instead of materialising hundreds of millions of tuples.
+    """
+
+    def __init__(self, estimated_rows: int, limit: int):
+        super().__init__(
+            f"join output of ~{estimated_rows} rows exceeds the materialisation "
+            f"limit of {limit}"
+        )
+        self.estimated_rows = estimated_rows
+        self.limit = limit
+
+
+@dataclass
+class OperatorOutput:
+    """Result of executing one operator.
+
+    Attributes:
+        result: True output rows.
+        work: Work units consumed by this operator alone.
+    """
+
+    result: IntermediateResult
+    work: float
+
+
+def _log2(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+def execute_scan(
+    database: Database,
+    query: Query,
+    node: ScanNode,
+    model: LatencyModel,
+) -> OperatorOutput:
+    """Execute a scan leaf: apply the query's filters for the alias.
+
+    A sequential scan touches every stored tuple.  An index scan is only
+    cheaper when an equality filter exists on an indexed column; otherwise it
+    degrades to a (slightly more expensive) full scan, as in a real engine
+    where a full index scan has worse locality than a heap scan.
+    """
+    table = database.table(node.table)
+    filters = query.filters_for(node.alias)
+    num_rows = table.num_rows
+    work = model.startup_cost
+
+    if node.operator is ScanOperator.INDEX_SCAN:
+        eq_filter = next(
+            (
+                f
+                for f in filters
+                if f.op.value == "=" and table.has_index(f.column)
+            ),
+            None,
+        )
+        if eq_filter is not None:
+            matched = table.index(eq_filter.column).lookup(eq_filter.value)
+            work += model.index_probe_cost * _log2(num_rows) + len(matched)
+            remaining = [f for f in filters if f is not eq_filter]
+            if remaining and len(matched):
+                mask = conjunction_mask(
+                    remaining,
+                    {f.column: table.column(f.column)[matched] for f in remaining},
+                    len(matched),
+                )
+                selected = matched[mask]
+                work += len(matched) * model.cpu_tuple_cost
+            else:
+                selected = matched
+        else:
+            # No usable index: pay a locality penalty over a plain scan.
+            mask = conjunction_mask(
+                filters, {f.column: table.column(f.column) for f in filters}, num_rows
+            )
+            selected = np.flatnonzero(mask)
+            work += num_rows * model.seq_scan_cost * 1.5
+    else:
+        mask = conjunction_mask(
+            filters, {f.column: table.column(f.column) for f in filters}, num_rows
+        )
+        selected = np.flatnonzero(mask)
+        work += num_rows * model.seq_scan_cost
+
+    work += len(selected) * model.cpu_tuple_cost
+    return OperatorOutput(
+        result=IntermediateResult({node.alias: selected.astype(np.int64)}),
+        work=work,
+    )
+
+
+def _indexed_nested_loop_applicable(
+    database: Database, query: Query, node: JoinNode
+) -> tuple[str, str] | None:
+    """Whether the join can run as an indexed nested loop.
+
+    Requires the right (inner) side to be a single base-table scan and at
+    least one join predicate whose inner column carries an index.  Returns the
+    ``(inner_alias, inner_column)`` pair used for index probes, or ``None``.
+    """
+    if not isinstance(node.right, ScanNode):
+        return None
+    inner_alias = node.right.alias
+    table = database.table(node.right.table)
+    predicates = query.joins_between(node.left.leaf_aliases, node.right.leaf_aliases)
+    for predicate in predicates:
+        if inner_alias in predicate.aliases():
+            column = predicate.column_for(inner_alias)
+            if table.has_index(column):
+                return inner_alias, column
+    return None
+
+
+def execute_join(
+    database: Database,
+    query: Query,
+    node: JoinNode,
+    left: IntermediateResult,
+    right: IntermediateResult,
+    model: LatencyModel,
+    max_intermediate_rows: int,
+) -> OperatorOutput:
+    """Execute a join of two already-computed inputs.
+
+    Args:
+        database: Database providing column values.
+        query: The query (source of join predicates).
+        node: The join node (provides the physical operator).
+        left: Executed left input.
+        right: Executed right input.
+        model: Latency model constants.
+        max_intermediate_rows: Materialisation guard.
+
+    Returns:
+        The join's :class:`OperatorOutput`.
+
+    Raises:
+        IntermediateExplosionError: If the true output would exceed the guard.
+        ValueError: If no join predicate connects the two sides (cross product).
+    """
+    predicates = list(
+        query.joins_between(left.aliases, right.aliases)
+    )
+    if not predicates:
+        raise ValueError(
+            f"cross product between {sorted(left.aliases)} and {sorted(right.aliases)}"
+        )
+    alias_to_table = dict(query.alias_to_table)
+
+    # Guard against astronomically large true outputs before materialising.
+    first = predicates[0]
+    left_alias = first.left_alias if first.left_alias in left.aliases else first.right_alias
+    right_alias = first.left_alias if first.left_alias in right.aliases else first.right_alias
+    left_keys = left.column_values(
+        database, alias_to_table, left_alias, first.column_for(left_alias)
+    )
+    right_keys = right.column_values(
+        database, alias_to_table, right_alias, first.column_for(right_alias)
+    )
+    estimated = estimate_match_count(left_keys, right_keys)
+    if estimated > max_intermediate_rows:
+        raise IntermediateExplosionError(estimated, max_intermediate_rows)
+
+    output = join_results(database, alias_to_table, left, right, predicates)
+    out_rows = output.num_rows
+    left_rows, right_rows = left.num_rows, right.num_rows
+    work = model.startup_cost
+
+    operator = node.operator
+    if operator is JoinOperator.HASH_JOIN:
+        build_work = left_rows * model.hash_build_cost
+        probe_work = right_rows * model.hash_probe_cost
+        if left_rows > model.memory_limit_tuples:
+            build_work *= model.spill_factor
+            probe_work *= model.spill_factor
+        work += build_work + probe_work
+    elif operator is JoinOperator.MERGE_JOIN:
+        work += model.sort_cost * (
+            left_rows * _log2(left_rows) + right_rows * _log2(right_rows)
+        )
+        work += (left_rows + right_rows) * model.cpu_tuple_cost
+    elif operator is JoinOperator.NESTED_LOOP:
+        indexed = _indexed_nested_loop_applicable(database, query, node)
+        if indexed is not None:
+            inner_alias, inner_column = indexed
+            inner_table = database.table(query.alias_to_table[inner_alias])
+            probe_cost = model.index_probe_cost * _log2(inner_table.num_rows)
+            # Index probes hit the unfiltered inner table; residual inner
+            # filters are applied to the fetched rows.
+            total_matches = estimate_match_count(
+                left_keys, inner_table.column(inner_column)
+            )
+            work += left_rows * probe_cost
+            work += total_matches * model.cpu_tuple_cost
+        else:
+            work += left_rows * right_rows * model.nested_loop_cost
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown join operator {operator}")
+
+    work += out_rows * model.cpu_tuple_cost
+    return OperatorOutput(result=output, work=work)

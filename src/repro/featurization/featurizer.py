@@ -1,0 +1,103 @@
+"""Bundled query+plan featurisation and batching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cardinality.base import CardinalityEstimator
+from repro.catalog.schema import Schema
+from repro.featurization.plan_encoder import FlattenedPlan, PlanEncoder
+from repro.featurization.query_encoder import QueryEncoder
+from repro.nn.tree_conv import TreeBatch
+from repro.plans.nodes import PlanNode
+from repro.sql.query import Query
+
+
+@dataclass
+class FeaturizedExample:
+    """One featurised (query, plan) pair.
+
+    Attributes:
+        query_encoding: The query's selectivity vector.
+        plan: The flattened plan node table.
+    """
+
+    query_encoding: np.ndarray
+    plan: FlattenedPlan
+
+
+class QueryPlanFeaturizer:
+    """Featurises (query, plan) pairs and batches them for the value network.
+
+    Args:
+        schema: Database schema.
+        estimator: Cardinality estimator used for query selectivities.
+    """
+
+    def __init__(self, schema: Schema, estimator: CardinalityEstimator, cache_size: int = 200_000):
+        self.schema = schema
+        self.query_encoder = QueryEncoder(schema, estimator)
+        self.plan_encoder = PlanEncoder(schema)
+        # Featurisation is pure; beam search and training revisit the same
+        # subplans constantly, so cache by (query, plan fingerprint).
+        self._cache: dict[tuple[str, str], FeaturizedExample] = {}
+        self._cache_size = cache_size
+
+    @property
+    def query_dimension(self) -> int:
+        """Dimensionality of the query encoding."""
+        return self.query_encoder.dimension
+
+    @property
+    def plan_node_dimension(self) -> int:
+        """Dimensionality of one plan-node feature vector."""
+        return self.plan_encoder.node_dimension
+
+    def featurize(self, query: Query, plan: PlanNode) -> FeaturizedExample:
+        """Featurise one (query, plan) pair (cached)."""
+        key = (query.name, plan.fingerprint())
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        example = FeaturizedExample(
+            query_encoding=self.query_encoder.encode(query),
+            plan=self.plan_encoder.flatten(plan, dict(query.alias_to_table)),
+        )
+        if len(self._cache) < self._cache_size:
+            self._cache[key] = example
+        return example
+
+    def batch(
+        self, examples: Sequence[FeaturizedExample]
+    ) -> tuple[np.ndarray, TreeBatch]:
+        """Pad and stack featurised examples into network inputs.
+
+        Args:
+            examples: Featurised (query, plan) pairs.
+
+        Returns:
+            ``(query_batch, tree_batch)`` where ``query_batch`` has shape
+            ``(batch, query_dim)`` and ``tree_batch`` holds the padded plan
+            node tables.
+        """
+        if not examples:
+            raise ValueError("cannot batch zero examples")
+        batch_size = len(examples)
+        max_slots = max(example.plan.features.shape[0] for example in examples)
+        node_dim = self.plan_node_dimension
+        features = np.zeros((batch_size, max_slots, node_dim), dtype=np.float64)
+        left = np.zeros((batch_size, max_slots), dtype=np.int64)
+        right = np.zeros((batch_size, max_slots), dtype=np.int64)
+        valid = np.zeros((batch_size, max_slots), dtype=bool)
+        queries = np.zeros((batch_size, self.query_dimension), dtype=np.float64)
+        for i, example in enumerate(examples):
+            slots = example.plan.features.shape[0]
+            features[i, :slots] = example.plan.features
+            left[i, :slots] = example.plan.left
+            right[i, :slots] = example.plan.right
+            valid[i, 1 : example.plan.num_nodes + 1] = True
+            queries[i] = example.query_encoding
+        return queries, TreeBatch(features=features, left=left, right=right, valid=valid)

@@ -1,0 +1,94 @@
+"""Plan featurisation: Neo-style per-node feature vectors and tree flattening."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.schema import Schema
+from repro.plans.nodes import JoinNode, JoinOperator, PlanNode, ScanNode, ScanOperator
+
+#: Fixed operator slot order used in the one-hot part of a node feature.
+OPERATOR_ORDER: tuple[str, ...] = (
+    ScanOperator.SEQ_SCAN.value,
+    ScanOperator.INDEX_SCAN.value,
+    JoinOperator.HASH_JOIN.value,
+    JoinOperator.MERGE_JOIN.value,
+    JoinOperator.NESTED_LOOP.value,
+)
+
+
+@dataclass
+class FlattenedPlan:
+    """A plan flattened for tree convolution.
+
+    Attributes:
+        features: ``(num_nodes + 1, feature_dim)`` node features, row 0 being
+            the sentinel zero node.
+        left: Left-child indices per slot (0 = none).
+        right: Right-child indices per slot (0 = none).
+        num_nodes: Number of real nodes.
+    """
+
+    features: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    num_nodes: int
+
+
+class PlanEncoder:
+    """Encodes plan trees into flattened node tables.
+
+    Each node's feature vector is ``[operator one-hot | table multi-hot]``
+    where the multi-hot marks the base tables covered by the node's subtree.
+
+    Args:
+        schema: The database schema (defines the multi-hot slot order).
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.table_order: list[str] = schema.table_names()
+        self._table_slots = {table: i for i, table in enumerate(self.table_order)}
+        self._operator_slots = {name: i for i, name in enumerate(OPERATOR_ORDER)}
+
+    @property
+    def node_dimension(self) -> int:
+        """Feature dimensionality of one node."""
+        return len(OPERATOR_ORDER) + len(self.table_order)
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def node_features(self, plan: PlanNode, alias_to_table: dict[str, str]) -> np.ndarray:
+        """Feature vector for a single node (without descending into children)."""
+        features = np.zeros(self.node_dimension, dtype=np.float64)
+        if isinstance(plan, ScanNode):
+            operator = plan.operator.value
+        elif isinstance(plan, JoinNode):
+            operator = plan.operator.value
+        else:  # pragma: no cover - only two node kinds
+            raise TypeError(f"unknown plan node type {type(plan)!r}")
+        features[self._operator_slots[operator]] = 1.0
+        offset = len(OPERATOR_ORDER)
+        for alias in plan.leaf_aliases:
+            table = alias_to_table[alias]
+            features[offset + self._table_slots[table]] = 1.0
+        return features
+
+    def flatten(self, plan: PlanNode, alias_to_table: dict[str, str]) -> FlattenedPlan:
+        """Flatten a plan into the node-table form used by tree convolution."""
+        nodes: list[PlanNode] = list(plan.iter_nodes())
+        num_nodes = len(nodes)
+        slot_of = {id(node): i + 1 for i, node in enumerate(nodes)}
+        features = np.zeros((num_nodes + 1, self.node_dimension), dtype=np.float64)
+        left = np.zeros(num_nodes + 1, dtype=np.int64)
+        right = np.zeros(num_nodes + 1, dtype=np.int64)
+        for node in nodes:
+            slot = slot_of[id(node)]
+            features[slot] = self.node_features(node, alias_to_table)
+            if isinstance(node, JoinNode):
+                left[slot] = slot_of[id(node.left)]
+                right[slot] = slot_of[id(node.right)]
+        return FlattenedPlan(features=features, left=left, right=right, num_nodes=num_nodes)

@@ -1,0 +1,17 @@
+"""The learned value network and its supervised trainer.
+
+The value network approximates :math:`V(query, plan) \\to` overall cost (in
+simulation) or overall latency (in real execution), as described in paper §2
+and §7.  It is a tree convolution network over the plan's node table, with the
+query's selectivity vector injected into every node.
+"""
+
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.model.trainer import TrainingHistory, ValueNetworkTrainer
+
+__all__ = [
+    "ValueNetwork",
+    "ValueNetworkConfig",
+    "TrainingHistory",
+    "ValueNetworkTrainer",
+]

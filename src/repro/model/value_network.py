@@ -1,0 +1,251 @@
+"""The tree-convolution value network :math:`V_\\theta(query, plan)`.
+
+Architecture (paper §7, "Value network details", scaled for CPU training):
+
+1. a small MLP embeds the query's [table → selectivity] vector;
+2. the query embedding is concatenated onto every plan node's feature vector;
+3. a stack of tree convolution layers propagates information along the plan
+   tree;
+4. dynamic max pooling reduces the tree to a fixed-size vector;
+5. a small MLP head outputs a single value.
+
+Targets are trained in ``log1p`` space and standardised, which keeps a single
+network usable both for simulation costs (up to 1e7) and for real latencies
+(fractions of a second) and mirrors how predictions "naturally change from the
+scales of costs to latencies through fine-tuning" (paper footnote 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.featurization.featurizer import FeaturizedExample, QueryPlanFeaturizer
+from repro.nn.layers import Linear, Parameter, ReLU
+from repro.nn.tree_conv import DynamicMaxPool, TreeBatch, TreeConvLayer
+from repro.plans.nodes import PlanNode
+from repro.sql.query import Query
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class ValueNetworkConfig:
+    """Hyper-parameters of the value network.
+
+    Attributes:
+        query_hidden: Width of the query MLP's hidden layer.
+        query_embedding: Width of the query embedding concatenated to nodes.
+        tree_channels: Output channels of each tree convolution layer.
+        head_hidden: Width of the output MLP's hidden layer.
+        seed: Seed controlling weight initialisation.
+    """
+
+    query_hidden: int = 64
+    query_embedding: int = 32
+    tree_channels: tuple[int, ...] = (64, 64, 32)
+    head_hidden: int = 32
+    seed: int = 0
+
+
+@dataclass
+class _ForwardCache:
+    """Intermediate activations needed by the backward pass."""
+
+    queries: np.ndarray = None  # type: ignore[assignment]
+    tree_batch: TreeBatch = None  # type: ignore[assignment]
+    node_inputs: TreeBatch = None  # type: ignore[assignment]
+    valid: np.ndarray = None  # type: ignore[assignment]
+
+
+class ValueNetwork:
+    """The learned value function.
+
+    Args:
+        featurizer: Featuriser defining input dimensionalities.
+        config: Network hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        featurizer: QueryPlanFeaturizer,
+        config: ValueNetworkConfig | None = None,
+    ):
+        self.featurizer = featurizer
+        self.config = config or ValueNetworkConfig()
+        rng = RngFactory(self.config.seed)
+
+        query_dim = featurizer.query_dimension
+        node_dim = featurizer.plan_node_dimension
+        cfg = self.config
+
+        self.query_fc1 = Linear(query_dim, cfg.query_hidden, rng.make("qfc1"), "query_fc1")
+        self.query_act1 = ReLU()
+        self.query_fc2 = Linear(
+            cfg.query_hidden, cfg.query_embedding, rng.make("qfc2"), "query_fc2"
+        )
+        self.query_act2 = ReLU()
+
+        in_channels = node_dim + cfg.query_embedding
+        self.tree_layers: list[TreeConvLayer] = []
+        self.tree_activations: list[ReLU] = []
+        for i, channels in enumerate(cfg.tree_channels):
+            self.tree_layers.append(
+                TreeConvLayer(in_channels, channels, rng.make("tree", i), f"tree_conv{i}")
+            )
+            self.tree_activations.append(ReLU())
+            in_channels = channels
+
+        self.pool = DynamicMaxPool()
+        self.head_fc1 = Linear(in_channels, cfg.head_hidden, rng.make("hfc1"), "head_fc1")
+        self.head_act1 = ReLU()
+        self.head_fc2 = Linear(cfg.head_hidden, 1, rng.make("hfc2"), "head_fc2")
+
+        # Target normalisation (fit from training data).
+        self.label_mean = 0.0
+        self.label_std = 1.0
+
+        self._cache = _ForwardCache()
+
+    # ------------------------------------------------------------------ #
+    # Parameters and (de)serialisation
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters."""
+        params: list[Parameter] = []
+        params += self.query_fc1.parameters() + self.query_fc2.parameters()
+        for layer in self.tree_layers:
+            params += layer.parameters()
+        params += self.head_fc1.parameters() + self.head_fc2.parameters()
+        return params
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def get_state(self) -> dict[str, np.ndarray]:
+        """Copy of all weights plus the label normalisation statistics."""
+        state = {p.name: p.value.copy() for p in self.parameters()}
+        state["__label_mean__"] = np.array([self.label_mean])
+        state["__label_std__"] = np.array([self.label_std])
+        return state
+
+    def set_state(self, state: dict[str, np.ndarray]) -> None:
+        """Load weights produced by :meth:`get_state`."""
+        by_name = {p.name: p for p in self.parameters()}
+        for name, values in state.items():
+            if name == "__label_mean__":
+                self.label_mean = float(values[0])
+            elif name == "__label_std__":
+                self.label_std = float(values[0])
+            else:
+                parameter = by_name[name]
+                if parameter.value.shape != values.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {parameter.value.shape} vs {values.shape}"
+                    )
+                parameter.value = values.copy()
+                parameter.grad = np.zeros_like(parameter.value)
+
+    def clone(self) -> "ValueNetwork":
+        """A deep copy with identical weights (used for V_sim -> V_real)."""
+        copy = ValueNetwork(self.featurizer, self.config)
+        copy.set_state(self.get_state())
+        return copy
+
+    # ------------------------------------------------------------------ #
+    # Label transform
+    # ------------------------------------------------------------------ #
+    def fit_label_transform(self, labels: np.ndarray) -> None:
+        """Fit the log1p + standardisation transform on raw labels."""
+        transformed = np.log1p(np.maximum(np.asarray(labels, dtype=np.float64), 0.0))
+        self.label_mean = float(transformed.mean())
+        self.label_std = float(max(transformed.std(), 1e-6))
+
+    def transform_labels(self, labels: np.ndarray) -> np.ndarray:
+        """Raw labels -> network target space."""
+        transformed = np.log1p(np.maximum(np.asarray(labels, dtype=np.float64), 0.0))
+        return (transformed - self.label_mean) / self.label_std
+
+    def inverse_transform(self, outputs: np.ndarray) -> np.ndarray:
+        """Network outputs -> raw label units (latency seconds / cost)."""
+        outputs = np.asarray(outputs, dtype=np.float64)
+        return np.expm1(np.clip(outputs * self.label_std + self.label_mean, -30.0, 30.0))
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(
+        self, queries: np.ndarray, tree_batch: TreeBatch, training: bool = False
+    ) -> np.ndarray:
+        """Forward pass returning normalised-space predictions ``(batch,)``."""
+        query_hidden = self.query_act1.forward(
+            self.query_fc1.forward(queries, training), training
+        )
+        query_embed = self.query_act2.forward(
+            self.query_fc2.forward(query_hidden, training), training
+        )
+
+        valid = tree_batch.valid
+        batch_size, slots, node_dim = tree_batch.features.shape
+        node_inputs = np.zeros(
+            (batch_size, slots, node_dim + query_embed.shape[1]), dtype=np.float64
+        )
+        node_inputs[:, :, :node_dim] = tree_batch.features
+        node_inputs[:, :, node_dim:] = query_embed[:, None, :] * valid[..., None]
+        current = TreeBatch(
+            features=node_inputs, left=tree_batch.left, right=tree_batch.right, valid=valid
+        )
+
+        for layer, activation in zip(self.tree_layers, self.tree_activations):
+            convolved = layer.forward(current, training)
+            activated = activation.forward(convolved.features, training)
+            current = convolved.with_features(activated * valid[..., None])
+
+        pooled = self.pool.forward(current, training)
+        head_hidden = self.head_act1.forward(self.head_fc1.forward(pooled, training), training)
+        outputs = self.head_fc2.forward(head_hidden, training)[:, 0]
+
+        self._cache = _ForwardCache(
+            queries=queries, tree_batch=tree_batch, node_inputs=current, valid=valid
+        )
+        return outputs
+
+    def backward(self, grad_outputs: np.ndarray) -> None:
+        """Backward pass from d(loss)/d(outputs); accumulates parameter grads."""
+        grad = self.head_fc2.backward(grad_outputs[:, None])
+        grad = self.head_fc1.backward(self.head_act1.backward(grad))
+        grad_nodes = self.pool.backward(grad)
+
+        valid = self._cache.valid
+        for layer, activation in zip(
+            reversed(self.tree_layers), reversed(self.tree_activations)
+        ):
+            grad_nodes = grad_nodes * valid[..., None]
+            grad_nodes = activation.backward(grad_nodes)
+            grad_nodes = layer.backward(grad_nodes)
+
+        node_dim = self.featurizer.plan_node_dimension
+        grad_query_embed = (grad_nodes[:, :, node_dim:] * valid[..., None]).sum(axis=1)
+        grad_query_hidden = self.query_fc2.backward(
+            self.query_act2.backward(grad_query_embed)
+        )
+        self.query_fc1.backward(self.query_act1.backward(grad_query_hidden))
+
+    # ------------------------------------------------------------------ #
+    # Prediction API
+    # ------------------------------------------------------------------ #
+    def predict_examples(self, examples: list[FeaturizedExample]) -> np.ndarray:
+        """Predict raw-unit values for featurised examples."""
+        queries, tree_batch = self.featurizer.batch(examples)
+        outputs = self.forward(queries, tree_batch, training=False)
+        return self.inverse_transform(outputs)
+
+    def predict(self, query: Query, plans: list[PlanNode]) -> np.ndarray:
+        """Predict raw-unit values for several candidate plans of one query."""
+        examples = [self.featurizer.featurize(query, plan) for plan in plans]
+        return self.predict_examples(examples)
+
+    def predict_one(self, query: Query, plan: PlanNode) -> float:
+        """Predict the raw-unit value of a single (query, plan) pair."""
+        return float(self.predict(query, [plan])[0])

@@ -1,0 +1,33 @@
+"""Losses.
+
+The paper fine-tunes the value network with "SGD with an L2 loss between
+predicted and true latencies" (§4.1); :func:`mse_loss` is that loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(
+    predictions: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean-squared-error loss and its gradient w.r.t. the predictions.
+
+    Args:
+        predictions: Predicted values, any shape.
+        targets: True values, same shape.
+
+    Returns:
+        ``(loss, grad)`` where ``grad`` has the same shape as ``predictions``.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+        )
+    diff = predictions - targets
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad

@@ -1,0 +1,38 @@
+"""Classical (non-learned) optimizers.
+
+These serve three roles in the reproduction:
+
+- the **expert baselines** the paper compares against
+  (:func:`make_postgres_optimizer` — bushy search space, like PostgreSQL;
+  :func:`make_commdb_optimizer` — left-deep-only space, like the anonymised
+  commercial system);
+- the **data-collection procedure** for simulation learning
+  (:class:`DynamicProgrammingOptimizer` can emit every plan it enumerates,
+  paper §3.2);
+- the **random-plan generators** used by the §3 motivation experiment and the
+  ε-greedy exploration ablation (:class:`QuickPickOptimizer`,
+  :func:`random_plan`).
+"""
+
+from repro.optimizer.dp import DpResult, DynamicProgrammingOptimizer, EnumeratedPlan
+from repro.optimizer.greedy import GreedyOptimizer
+from repro.optimizer.quickpick import QuickPickOptimizer, random_plan
+from repro.optimizer.expert import (
+    ExpertOptimizer,
+    ExpertPlannerStats,
+    make_commdb_optimizer,
+    make_postgres_optimizer,
+)
+
+__all__ = [
+    "DpResult",
+    "DynamicProgrammingOptimizer",
+    "EnumeratedPlan",
+    "GreedyOptimizer",
+    "QuickPickOptimizer",
+    "random_plan",
+    "ExpertOptimizer",
+    "ExpertPlannerStats",
+    "make_commdb_optimizer",
+    "make_postgres_optimizer",
+]

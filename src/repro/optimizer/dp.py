@@ -1,0 +1,187 @@
+"""Selinger-style bottom-up dynamic programming over bushy (or left-deep) spaces.
+
+The enumerator serves both classical planning (keep the cheapest plan per
+alias subset) and Balsa's simulation data collection (§3.2), which records
+*every* enumerated candidate — not just the winners — to maximise data variety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable
+
+from repro.costmodel.base import CostModel
+from repro.execution.hints import HintSet
+from repro.plans.builders import scan
+from repro.plans.nodes import JoinNode, JoinOperator, PlanNode, ScanOperator
+from repro.sql.query import Query
+
+
+@dataclass
+class EnumeratedPlan:
+    """One candidate emitted during DP enumeration.
+
+    Attributes:
+        aliases: Alias subset the candidate covers.
+        plan: The candidate plan (children are the DP-optimal subplans).
+        cost: Total cost under the enumerator's cost model.
+    """
+
+    aliases: frozenset[str]
+    plan: PlanNode
+    cost: float
+
+
+@dataclass
+class DpResult:
+    """Result of running the DP enumerator on one query.
+
+    Attributes:
+        best_plan: Cheapest complete plan found (``None`` only if the query's
+            join graph is disconnected).
+        best_cost: Its total cost.
+        enumerated: All candidates emitted during enumeration (empty unless
+            ``collect_all`` was requested).
+        num_candidates: Number of candidate plans considered.
+    """
+
+    best_plan: PlanNode | None
+    best_cost: float
+    enumerated: list[EnumeratedPlan] = field(default_factory=list)
+    num_candidates: int = 0
+
+
+class DynamicProgrammingOptimizer:
+    """Bottom-up DP plan enumerator.
+
+    Args:
+        cost_model: Additive cost model used to score candidates.
+        left_deep_only: Restrict the space to left-deep trees (used by the
+            CommDB-like expert and by SkinnerDB-style comparisons).
+        hint_set: Restricts the physical operators considered.  ``None`` means
+            all operators.
+        physical: Enumerate physical operators.  When false (used with
+            ``Cout``), plans carry default operators which the logical cost
+            model ignores (paper footnote 4).
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        left_deep_only: bool = False,
+        hint_set: HintSet | None = None,
+        physical: bool = True,
+    ):
+        self.cost_model = cost_model
+        self.left_deep_only = left_deep_only
+        self.hint_set = hint_set or HintSet(name="all")
+        self.physical = physical
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def optimize(self, query: Query, collect_all: bool = False) -> DpResult:
+        """Run DP on ``query``.
+
+        Args:
+            query: The query to plan (its join graph must be connected).
+            collect_all: Also return every enumerated candidate (for
+                simulation data collection).
+
+        Returns:
+            A :class:`DpResult`.
+        """
+        if not query.is_connected():
+            raise ValueError(
+                f"query {query.name!r} has a disconnected join graph; "
+                "cross products are not supported"
+            )
+        best: dict[frozenset, tuple[PlanNode, float]] = {}
+        enumerated: list[EnumeratedPlan] = []
+        num_candidates = 0
+
+        # Level 1: base-table access paths.
+        for alias in query.aliases:
+            subset = frozenset((alias,))
+            for operator in self._scan_operators():
+                candidate = scan(query, alias, operator)
+                cost = self.cost_model.node_cost(query, candidate)
+                num_candidates += 1
+                if collect_all:
+                    enumerated.append(EnumeratedPlan(subset, candidate, cost))
+                incumbent = best.get(subset)
+                if incumbent is None or cost < incumbent[1]:
+                    best[subset] = (candidate, cost)
+
+        # Levels 2..n: joins of disjoint, connected, join-predicate-linked
+        # subsets.
+        aliases = list(query.aliases)
+        num_tables = len(aliases)
+        subsets_by_size: dict[int, list[frozenset]] = {1: [frozenset((a,)) for a in aliases]}
+        for size in range(2, num_tables + 1):
+            level: list[frozenset] = []
+            seen: set[frozenset] = set()
+            for left_size in range(1, size):
+                right_size = size - left_size
+                if self.left_deep_only and right_size != 1:
+                    continue
+                for left_subset in subsets_by_size.get(left_size, []):
+                    if left_subset not in best:
+                        continue
+                    for right_subset in subsets_by_size.get(right_size, []):
+                        if right_subset not in best or left_subset & right_subset:
+                            continue
+                        if not query.joins_between(left_subset, right_subset):
+                            continue
+                        union = left_subset | right_subset
+                        left_plan, left_cost = best[left_subset]
+                        right_plan, right_cost = best[right_subset]
+                        for operator in self._join_operators():
+                            candidate = JoinNode(left_plan, right_plan, operator)
+                            cost = self.cost_model.combine(
+                                query, candidate, left_cost, right_cost
+                            )
+                            num_candidates += 1
+                            if collect_all:
+                                enumerated.append(EnumeratedPlan(union, candidate, cost))
+                            incumbent = best.get(union)
+                            if incumbent is None or cost < incumbent[1]:
+                                best[union] = (candidate, cost)
+                        if union not in seen:
+                            seen.add(union)
+                            level.append(union)
+            subsets_by_size[size] = level
+
+        full = frozenset(query.aliases)
+        if full not in best:
+            return DpResult(best_plan=None, best_cost=float("inf"),
+                            enumerated=enumerated, num_candidates=num_candidates)
+        plan, cost = best[full]
+        return DpResult(
+            best_plan=plan,
+            best_cost=cost,
+            enumerated=enumerated,
+            num_candidates=num_candidates,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _scan_operators(self) -> tuple[ScanOperator, ...]:
+        if not self.physical:
+            return (ScanOperator.SEQ_SCAN,)
+        return tuple(
+            op
+            for op in (ScanOperator.SEQ_SCAN, ScanOperator.INDEX_SCAN)
+            if self.hint_set.allows_scan(op)
+        ) or (ScanOperator.SEQ_SCAN,)
+
+    def _join_operators(self) -> tuple[JoinOperator, ...]:
+        if not self.physical:
+            return (JoinOperator.HASH_JOIN,)
+        return tuple(
+            op
+            for op in (JoinOperator.HASH_JOIN, JoinOperator.MERGE_JOIN, JoinOperator.NESTED_LOOP)
+            if self.hint_set.allows_join(op)
+        ) or (JoinOperator.HASH_JOIN,)

@@ -1,0 +1,99 @@
+"""Plan-shape and operator-composition analysis.
+
+Figure 18 of the paper tracks the fraction of merge / nested-loop / hash joins
+and the fraction of bushy vs. left-deep plans over the course of training.
+These helpers compute those statistics for a single plan or a collection of
+plans.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.plans.nodes import JoinNode, JoinOperator, PlanNode, ScanNode, ScanOperator
+
+
+class PlanShape(str, enum.Enum):
+    """Coarse plan-tree shape categories."""
+
+    SINGLE_TABLE = "single_table"
+    LEFT_DEEP = "left_deep"
+    RIGHT_DEEP = "right_deep"
+    BUSHY = "bushy"
+
+
+def plan_shape(plan: PlanNode) -> PlanShape:
+    """Classify a plan tree's shape.
+
+    A plan is *left-deep* when every join's right child is a scan, *right-deep*
+    when every join's left child is a scan, and *bushy* otherwise.  A plan with
+    fewer than two joins is both left- and right-deep; we report it as
+    left-deep by convention (single scans get their own category).
+    """
+    joins = list(plan.iter_joins())
+    if not joins:
+        return PlanShape.SINGLE_TABLE
+    left_deep = all(isinstance(j.right, ScanNode) for j in joins)
+    right_deep = all(isinstance(j.left, ScanNode) for j in joins)
+    if left_deep:
+        return PlanShape.LEFT_DEEP
+    if right_deep:
+        return PlanShape.RIGHT_DEEP
+    return PlanShape.BUSHY
+
+
+@dataclass
+class OperatorComposition:
+    """Aggregate operator / shape statistics over a collection of plans.
+
+    Attributes:
+        join_fractions: Fraction of join nodes using each join operator.
+        scan_fractions: Fraction of scan nodes using each scan operator.
+        shape_fractions: Fraction of plans falling in each shape category.
+        num_plans: Number of plans aggregated.
+    """
+
+    join_fractions: dict[JoinOperator, float]
+    scan_fractions: dict[ScanOperator, float]
+    shape_fractions: dict[PlanShape, float]
+    num_plans: int
+
+
+def operator_counts(plan: PlanNode) -> tuple[Counter, Counter]:
+    """Count join and scan operators in a single plan."""
+    join_counter: Counter = Counter()
+    scan_counter: Counter = Counter()
+    for node in plan.iter_nodes():
+        if isinstance(node, JoinNode):
+            join_counter[node.operator] += 1
+        elif isinstance(node, ScanNode):
+            scan_counter[node.operator] += 1
+    return join_counter, scan_counter
+
+
+def operator_composition(plans: Iterable[PlanNode]) -> OperatorComposition:
+    """Aggregate operator and shape fractions over ``plans``."""
+    join_counter: Counter = Counter()
+    scan_counter: Counter = Counter()
+    shape_counter: Counter = Counter()
+    num_plans = 0
+    for plan in plans:
+        num_plans += 1
+        joins, scans = operator_counts(plan)
+        join_counter.update(joins)
+        scan_counter.update(scans)
+        shape_counter[plan_shape(plan)] += 1
+    total_joins = sum(join_counter.values()) or 1
+    total_scans = sum(scan_counter.values()) or 1
+    total_plans = num_plans or 1
+    return OperatorComposition(
+        join_fractions={op: join_counter.get(op, 0) / total_joins for op in JoinOperator},
+        scan_fractions={op: scan_counter.get(op, 0) / total_scans for op in ScanOperator},
+        shape_fractions={
+            shape: shape_counter.get(shape, 0) / total_plans for shape in PlanShape
+        },
+        num_plans=num_plans,
+    )

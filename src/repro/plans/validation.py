@@ -1,0 +1,72 @@
+"""Plan validity checks against a query.
+
+A plan is valid for a query when it covers exactly the query's aliases, scans
+each alias exactly once, and every join node connects two sides that share at
+least one join predicate (no cross products), matching the search space the
+paper's beam search and DP enumerator explore.
+"""
+
+from __future__ import annotations
+
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.sql.query import Query
+
+
+class InvalidPlanError(ValueError):
+    """Raised when a plan does not form a valid execution plan for a query."""
+
+
+def validate_plan(query: Query, plan: PlanNode, require_complete: bool = True) -> None:
+    """Validate ``plan`` against ``query``.
+
+    Args:
+        query: The query the plan claims to implement.
+        plan: The plan tree.
+        require_complete: When true, the plan must cover *all* query aliases;
+            otherwise it may cover any non-empty subset (a partial plan).
+
+    Raises:
+        InvalidPlanError: If any structural rule is violated.
+    """
+    query_aliases = set(query.aliases)
+    plan_aliases = set(plan.leaf_aliases)
+    if not plan_aliases:
+        raise InvalidPlanError("plan has no scan leaves")
+    unknown = plan_aliases - query_aliases
+    if unknown:
+        raise InvalidPlanError(f"plan references aliases not in query: {sorted(unknown)}")
+    if require_complete and plan_aliases != query_aliases:
+        missing = query_aliases - plan_aliases
+        raise InvalidPlanError(f"plan does not cover aliases: {sorted(missing)}")
+
+    seen: list[str] = [s.alias for s in plan.iter_scans()]
+    if len(seen) != len(set(seen)):
+        raise InvalidPlanError(f"plan scans an alias more than once: {sorted(seen)}")
+
+    alias_to_table = query.alias_to_table
+    for scan_node in plan.iter_scans():
+        if alias_to_table[scan_node.alias] != scan_node.table:
+            raise InvalidPlanError(
+                f"scan of alias {scan_node.alias!r} uses table {scan_node.table!r}, "
+                f"query expects {alias_to_table[scan_node.alias]!r}"
+            )
+
+    for join_node in plan.iter_joins():
+        predicates = query.joins_between(
+            join_node.left.leaf_aliases, join_node.right.leaf_aliases
+        )
+        if not predicates:
+            raise InvalidPlanError(
+                "cross product: no join predicate between "
+                f"{sorted(join_node.left.leaf_aliases)} and "
+                f"{sorted(join_node.right.leaf_aliases)}"
+            )
+
+
+def is_valid_plan(query: Query, plan: PlanNode, require_complete: bool = True) -> bool:
+    """Boolean form of :func:`validate_plan`."""
+    try:
+        validate_plan(query, plan, require_complete=require_complete)
+    except InvalidPlanError:
+        return False
+    return True

@@ -1,0 +1,197 @@
+"""Best-first beam search over search states, guided by the value network.
+
+Paper §4.2: the search starts from a root state containing all base-table
+scans.  A beam of size ``b`` keeps the most promising states (by predicted
+latency).  Expanding a state applies every action — joining two eligible
+member plans with a physical join operator, assigning scan operators when a
+side is a bare table — and the children are scored by the value network.  The
+search stops once ``k`` complete plans have been found; Balsa uses
+``b = 20, k = 10`` during training.
+
+A state's score is ``max`` over its member plans of ``V(query, plan)``
+(footnote 6), and per-plan predictions are cached so each distinct subplan is
+scored by the network exactly once per search.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.model.value_network import ValueNetwork
+from repro.plans.builders import all_join_operators, all_scan_operators, scan
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.search.state import SearchState
+from repro.sql.query import Query
+
+
+@dataclass
+class PlannerResult:
+    """Result of planning one query.
+
+    Attributes:
+        plans: Up to ``k`` complete plans, sorted by ascending predicted latency.
+        predicted_latencies: Predicted latency for each returned plan.
+        planning_seconds: Wall-clock planning time.
+        states_expanded: Number of beam states popped and expanded.
+        plans_scored: Number of distinct subplans scored by the value network.
+    """
+
+    plans: list[PlanNode]
+    predicted_latencies: list[float]
+    planning_seconds: float
+    states_expanded: int = 0
+    plans_scored: int = 0
+
+    @property
+    def best_plan(self) -> PlanNode:
+        """The plan with the lowest predicted latency."""
+        return self.plans[0]
+
+
+@dataclass
+class _BeamEntry:
+    """Heap entry ordering states by predicted latency."""
+
+    score: float
+    order: int
+    state: SearchState = field(compare=False)
+
+    def __lt__(self, other: "_BeamEntry") -> bool:
+        return (self.score, self.order) < (other.score, other.order)
+
+
+class BeamSearchPlanner:
+    """Beam-search planner over a value network.
+
+    Args:
+        beam_size: Beam width ``b``.
+        top_k: Number of complete plans to collect before stopping (``k``).
+        enumerate_scan_operators: Whether actions assign scan operators when a
+            join side is a bare table (disable to shrink the action space).
+        max_expansions: Safety bound on the number of state expansions.
+    """
+
+    def __init__(
+        self,
+        beam_size: int = 20,
+        top_k: int = 10,
+        enumerate_scan_operators: bool = True,
+        max_expansions: int = 4000,
+    ):
+        self.beam_size = beam_size
+        self.top_k = top_k
+        self.enumerate_scan_operators = enumerate_scan_operators
+        self.max_expansions = max_expansions
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def plan(self, query: Query, network: ValueNetwork) -> PlannerResult:
+        """Search for up to ``top_k`` complete plans for ``query``."""
+        started = time.perf_counter()
+        plan_scores: dict[str, float] = {}
+        counter = 0
+
+        def score_plans(plans: Sequence[PlanNode]) -> None:
+            """Batch-score plans not seen before in this search."""
+            unseen = [p for p in plans if p.fingerprint() not in plan_scores]
+            unique: dict[str, PlanNode] = {p.fingerprint(): p for p in unseen}
+            if not unique:
+                return
+            ordered = list(unique.values())
+            predictions = network.predict(query, ordered)
+            for plan, value in zip(ordered, predictions):
+                plan_scores[plan.fingerprint()] = float(value)
+
+        def state_score(state: SearchState) -> float:
+            return max(plan_scores[p.fingerprint()] for p in state.plans)
+
+        root_plans = [scan(query, alias) for alias in query.aliases]
+        score_plans(root_plans)
+        root = SearchState(plans=tuple(root_plans))
+        if root.is_terminal():
+            # Single-table query: the only plan is a scan of that table.
+            plan = root.plans[0]
+            return PlannerResult(
+                plans=[plan],
+                predicted_latencies=[plan_scores[plan.fingerprint()]],
+                planning_seconds=time.perf_counter() - started,
+                states_expanded=0,
+                plans_scored=len(plan_scores),
+            )
+
+        beam: list[_BeamEntry] = [_BeamEntry(state_score(root), counter, root)]
+        complete: dict[str, tuple[PlanNode, float]] = {}
+        visited: set[str] = {root.fingerprint}
+        expansions = 0
+
+        while beam and len(complete) < self.top_k and expansions < self.max_expansions:
+            entry = heapq.heappop(beam)
+            state = entry.state
+            expansions += 1
+
+            children = self._expand(query, state)
+            if not children:
+                continue
+            # Score every member plan of every child; the per-search cache makes
+            # this cheap (only plans never seen in this search hit the network).
+            score_plans([plan for child in children for plan in child.plans])
+
+            for child in children:
+                if child.fingerprint in visited:
+                    continue
+                visited.add(child.fingerprint)
+                if child.is_terminal():
+                    plan = child.plans[0]
+                    complete[plan.fingerprint()] = (
+                        plan,
+                        plan_scores[plan.fingerprint()],
+                    )
+                    continue
+                counter += 1
+                heapq.heappush(beam, _BeamEntry(state_score(child), counter, child))
+
+            # Keep only the best ``beam_size`` states.
+            if len(beam) > self.beam_size:
+                beam = heapq.nsmallest(self.beam_size, beam)
+                heapq.heapify(beam)
+
+        ordered = sorted(complete.values(), key=lambda pair: pair[1])[: self.top_k]
+        elapsed = time.perf_counter() - started
+        return PlannerResult(
+            plans=[plan for plan, _ in ordered],
+            predicted_latencies=[value for _, value in ordered],
+            planning_seconds=elapsed,
+            states_expanded=expansions,
+            plans_scored=len(plan_scores),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def _expand(self, query: Query, state: SearchState) -> list[SearchState]:
+        """Apply every action to ``state``: join two eligible member plans."""
+        children: list[SearchState] = []
+        plans = state.plans
+        for i in range(len(plans)):
+            for j in range(len(plans)):
+                if i == j:
+                    continue
+                left, right = plans[i], plans[j]
+                if not query.joins_between(left.leaf_aliases, right.leaf_aliases):
+                    continue
+                for left_variant in self._scan_variants(left):
+                    for right_variant in self._scan_variants(right):
+                        for join_operator in all_join_operators():
+                            joined = JoinNode(left_variant, right_variant, join_operator)
+                            children.append(state.replace_pair(i, j, joined))
+        return children
+
+    def _scan_variants(self, plan: PlanNode) -> list[PlanNode]:
+        """Scan-operator assignments for a bare table; joined plans are fixed."""
+        if isinstance(plan, ScanNode) and self.enumerate_scan_operators:
+            return [plan.with_operator(op) for op in all_scan_operators()]
+        return [plan]

@@ -1,0 +1,54 @@
+"""Search states: sets of partial plans for a query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.plans.nodes import PlanNode
+
+
+@dataclass(frozen=True)
+class SearchState:
+    """A set of partial plans covering disjoint alias subsets of one query.
+
+    Beam search starts from the state containing one scan per alias and
+    repeatedly joins two member plans until a state contains a single complete
+    plan (paper §4.2).
+
+    Attributes:
+        plans: The member plans, stored in a canonical (fingerprint-sorted)
+            order so equal states compare and hash equal.
+    """
+
+    plans: tuple[PlanNode, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.plans, key=lambda p: p.fingerprint()))
+        object.__setattr__(self, "plans", ordered)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable identity of the state."""
+        return "|".join(p.fingerprint() for p in self.plans)
+
+    @property
+    def num_plans(self) -> int:
+        """Number of member plans."""
+        return len(self.plans)
+
+    def covered_aliases(self) -> frozenset[str]:
+        """Union of aliases covered by the member plans."""
+        covered: frozenset[str] = frozenset()
+        for plan in self.plans:
+            covered |= plan.leaf_aliases
+        return covered
+
+    def is_terminal(self) -> bool:
+        """Whether the state consists of exactly one (complete) plan."""
+        return len(self.plans) == 1
+
+    def replace_pair(self, i: int, j: int, joined: PlanNode) -> "SearchState":
+        """New state with plans ``i`` and ``j`` replaced by their join."""
+        remaining = tuple(p for idx, p in enumerate(self.plans) if idx not in (i, j))
+        return SearchState(plans=remaining + (joined,))

@@ -1,0 +1,25 @@
+"""Simulation bootstrapping (paper §3).
+
+Balsa's first training stage never executes a query: dynamic programming
+enumerates plans for every training query, a minimal cost model
+(:math:`C_{out}`) scores them, subplan augmentation multiplies the data, and
+the value network :math:`V_{sim}` is trained on the result in a standard
+supervised fashion.
+"""
+
+from repro.simulation.collect import (
+    SimulationDataPoint,
+    SimulationDataset,
+    collect_simulation_data,
+)
+from repro.simulation.augment import augment_data_point
+from repro.simulation.trainer import SimulationStats, train_simulation_model
+
+__all__ = [
+    "SimulationDataPoint",
+    "SimulationDataset",
+    "collect_simulation_data",
+    "augment_data_point",
+    "SimulationStats",
+    "train_simulation_model",
+]

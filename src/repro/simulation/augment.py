@@ -1,0 +1,30 @@
+"""Subplan data augmentation (paper §3.2 and §4.1).
+
+Given a data point ``(query=T, plan=T, overall value=C)``, every subplan
+``T' ⊆ T`` yields a distinct data point with the *same* overall query and the
+same value: ``{(query=T, plan=T', value=C) : ∀ T' ⊆ T}``.  In RL terms, all
+states along a trajectory share the trajectory's return because intermediate
+rewards are zero.
+"""
+
+from __future__ import annotations
+
+from repro.plans.nodes import PlanNode
+from repro.sql.query import Query
+
+
+def augment_data_point(
+    query: Query, plan: PlanNode, value: float
+) -> list[tuple[Query, PlanNode, float]]:
+    """Expand one (query, plan, value) data point into one per subplan.
+
+    Args:
+        query: The (possibly restricted) query the plan answers.
+        plan: The complete plan for that query.
+        value: The overall cost or latency of the complete plan.
+
+    Returns:
+        A list of ``(query, subplan, value)`` tuples, one per node of ``plan``
+        (the full plan included).
+    """
+    return [(query, subplan, value) for subplan in plan.iter_subplans()]

@@ -1,0 +1,77 @@
+"""Training :math:`V_{sim}` on the collected simulation dataset."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.featurization.featurizer import QueryPlanFeaturizer
+from repro.model.trainer import TrainingHistory, ValueNetworkTrainer
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.simulation.collect import SimulationDataset
+
+
+@dataclass
+class SimulationStats:
+    """Bookkeeping for Table 2 of the paper.
+
+    Attributes:
+        dataset_size: Number of (query, plan, cost) points after augmentation.
+        collection_seconds: Time spent collecting the dataset.
+        train_seconds: Time spent training :math:`V_{sim}`.
+        history: The supervised training history.
+    """
+
+    dataset_size: int
+    collection_seconds: float
+    train_seconds: float
+    history: TrainingHistory
+
+
+def train_simulation_model(
+    dataset: SimulationDataset,
+    featurizer: QueryPlanFeaturizer,
+    network_config: ValueNetworkConfig | None = None,
+    learning_rate: float = 1e-3,
+    batch_size: int = 256,
+    max_epochs: int = 20,
+    patience: int = 3,
+    seed: int = 0,
+) -> tuple[ValueNetwork, SimulationStats]:
+    """Train :math:`V_{sim}` on ``dataset``.
+
+    Args:
+        dataset: The collected simulation dataset.
+        featurizer: Query/plan featuriser.
+        network_config: Value-network hyper-parameters (seeded per agent).
+        learning_rate: Adam step size.
+        batch_size: Minibatch size.
+        max_epochs: Epoch budget (early stopping may end sooner).
+        patience: Early-stopping patience.
+        seed: Seed for shuffling / validation split.
+
+    Returns:
+        ``(V_sim, stats)``.
+    """
+    network = ValueNetwork(featurizer, network_config)
+    trainer = ValueNetworkTrainer(
+        network,
+        learning_rate=learning_rate,
+        batch_size=batch_size,
+        max_epochs=max_epochs,
+        validation_fraction=0.1,
+        patience=patience,
+        seed=seed,
+    )
+    examples = [featurizer.featurize(p.query, p.plan) for p in dataset.points]
+    labels = [p.cost for p in dataset.points]
+    started = time.perf_counter()
+    history = trainer.fit(examples, labels)
+    train_seconds = time.perf_counter() - started
+    stats = SimulationStats(
+        dataset_size=len(dataset),
+        collection_seconds=dataset.collection_seconds,
+        train_seconds=train_seconds,
+        history=history,
+    )
+    return network, stats

@@ -1,0 +1,160 @@
+"""Predicate expressions for SPJ queries.
+
+Two predicate kinds exist:
+
+- :class:`FilterPredicate`: a single-table comparison against literal values
+  (``t.col <op> value``), where ``op`` is one of :class:`ComparisonOp`.
+- :class:`JoinPredicate`: an equi-join between two table aliases
+  (``a.col = b.col``).
+
+Filters are evaluated directly against numpy column arrays by
+:func:`evaluate_filter`; the same objects are consumed by the histogram
+cardinality estimator to derive selectivities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+class ComparisonOp(str, enum.Enum):
+    """Supported filter comparison operators."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "IN"
+    BETWEEN = "BETWEEN"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FilterPredicate:
+    """A single-table filter ``alias.column <op> value``.
+
+    Attributes:
+        alias: Table alias the predicate applies to.
+        column: Column name within that table.
+        op: Comparison operator.
+        value: Literal operand.  For ``IN`` a tuple of values, for ``BETWEEN``
+            a ``(low, high)`` tuple, otherwise a scalar.
+    """
+
+    alias: str
+    column: str
+    op: ComparisonOp
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op is ComparisonOp.IN and not isinstance(self.value, tuple):
+            object.__setattr__(self, "value", tuple(self.value))
+        if self.op is ComparisonOp.BETWEEN:
+            low, high = self.value
+            object.__setattr__(self, "value", (low, high))
+
+    def describe(self) -> str:
+        """Render the predicate as a SQL-ish string."""
+        if self.op is ComparisonOp.IN:
+            vals = ", ".join(repr(v) for v in self.value)
+            return f"{self.alias}.{self.column} IN ({vals})"
+        if self.op is ComparisonOp.BETWEEN:
+            low, high = self.value
+            return f"{self.alias}.{self.column} BETWEEN {low!r} AND {high!r}"
+        return f"{self.alias}.{self.column} {self.op.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate ``left_alias.left_column = right_alias.right_column``."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def aliases(self) -> frozenset[str]:
+        """The pair of aliases connected by this predicate."""
+        return frozenset((self.left_alias, self.right_alias))
+
+    def column_for(self, alias: str) -> str:
+        """Return the join column used on the side of ``alias``."""
+        if alias == self.left_alias:
+            return self.left_column
+        if alias == self.right_alias:
+            return self.right_column
+        raise KeyError(f"alias {alias!r} not part of join predicate {self.describe()}")
+
+    def describe(self) -> str:
+        """Render the predicate as a SQL-ish string."""
+        return (
+            f"{self.left_alias}.{self.left_column} = "
+            f"{self.right_alias}.{self.right_column}"
+        )
+
+    def normalized(self) -> "JoinPredicate":
+        """Return a canonical ordering (lexicographically smaller alias first)."""
+        if (self.left_alias, self.left_column) <= (self.right_alias, self.right_column):
+            return self
+        return JoinPredicate(
+            self.right_alias, self.right_column, self.left_alias, self.left_column
+        )
+
+
+def evaluate_filter(predicate: FilterPredicate, column: np.ndarray) -> np.ndarray:
+    """Evaluate ``predicate`` against a numpy column, returning a boolean mask.
+
+    Args:
+        predicate: The filter to evaluate.
+        column: Array of values for ``predicate.column``.
+
+    Returns:
+        Boolean array of the same length as ``column``.
+    """
+    op = predicate.op
+    value = predicate.value
+    if op is ComparisonOp.EQ:
+        return column == value
+    if op is ComparisonOp.NE:
+        return column != value
+    if op is ComparisonOp.LT:
+        return column < value
+    if op is ComparisonOp.LE:
+        return column <= value
+    if op is ComparisonOp.GT:
+        return column > value
+    if op is ComparisonOp.GE:
+        return column >= value
+    if op is ComparisonOp.IN:
+        return np.isin(column, np.asarray(list(value)))
+    if op is ComparisonOp.BETWEEN:
+        low, high = value
+        return (column >= low) & (column <= high)
+    raise ValueError(f"unsupported operator: {op}")
+
+
+def conjunction_mask(
+    predicates: Sequence[FilterPredicate], columns: dict[str, np.ndarray], num_rows: int
+) -> np.ndarray:
+    """Evaluate a conjunction of filters over a table's columns.
+
+    Args:
+        predicates: Filters, all referring to the same table alias.
+        columns: Mapping of column name to numpy array.
+        num_rows: Number of rows in the table (used when no predicates apply).
+
+    Returns:
+        Boolean mask selecting the qualifying rows.
+    """
+    mask = np.ones(num_rows, dtype=bool)
+    for predicate in predicates:
+        mask &= evaluate_filter(predicate, columns[predicate.column])
+    return mask

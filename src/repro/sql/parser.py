@@ -1,0 +1,138 @@
+"""A tiny SQL-ish formatter and parser for SPJ blocks.
+
+The library does not need a full SQL grammar: workloads are generated
+programmatically.  These helpers exist so that queries can be printed for
+inspection (``format_query``) and round-tripped in tests and examples
+(``parse_query``).  The accepted dialect is exactly what ``format_query``
+emits::
+
+    SELECT COUNT(*)
+    FROM title AS t, movie_companies AS mc
+    WHERE t.id = mc.movie_id
+      AND t.production_year > 2000
+      AND mc.company_type_id IN (1, 2);
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.sql.expr import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.sql.query import Query, TableRef
+
+_JOIN_RE = re.compile(
+    r"^\s*(\w+)\.(\w+)\s*=\s*(\w+)\.(\w+)\s*$",
+)
+_BETWEEN_RE = re.compile(
+    r"^\s*(\w+)\.(\w+)\s+BETWEEN\s+(.+)\s+AND\s+(.+)\s*$", re.IGNORECASE
+)
+_IN_RE = re.compile(r"^\s*(\w+)\.(\w+)\s+IN\s+\((.+)\)\s*$", re.IGNORECASE)
+_CMP_RE = re.compile(r"^\s*(\w+)\.(\w+)\s*(<=|>=|!=|=|<|>)\s*(.+?)\s*$")
+
+
+def _parse_literal(text: str) -> object:
+    """Parse a SQL-ish literal (number or quoted string)."""
+    text = text.strip()
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text.strip("'\"")
+
+
+def format_query(query: Query) -> str:
+    """Render a :class:`Query` as a SQL-ish string."""
+    from_items = ", ".join(t.describe() for t in query.tables)
+    conditions = [j.describe() for j in query.joins]
+    conditions += [f.describe() for f in query.filters]
+    lines = ["SELECT COUNT(*)", f"FROM {from_items}"]
+    if conditions:
+        lines.append("WHERE " + "\n  AND ".join(conditions))
+    return "\n".join(lines) + ";"
+
+
+def parse_query(sql: str, name: str = "query") -> Query:
+    """Parse the SQL-ish dialect produced by :func:`format_query`.
+
+    Args:
+        sql: Query text.
+        name: Name to give the parsed query.
+
+    Returns:
+        The parsed :class:`Query`.
+
+    Raises:
+        ValueError: If the text does not match the supported dialect.
+    """
+    text = sql.strip().rstrip(";")
+    lowered = text.lower()
+    from_idx = lowered.find("from ")
+    if from_idx < 0:
+        raise ValueError("query must contain a FROM clause")
+    where_idx = lowered.find("where ", from_idx)
+    from_clause = text[from_idx + 5 : where_idx if where_idx > 0 else None]
+    where_clause = text[where_idx + 6 :] if where_idx > 0 else ""
+
+    tables = []
+    for item in from_clause.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        parts = re.split(r"\s+(?:AS\s+)?", item, maxsplit=1, flags=re.IGNORECASE)
+        if len(parts) == 1:
+            tables.append(TableRef(parts[0], parts[0]))
+        else:
+            tables.append(TableRef(parts[0], parts[1]))
+
+    joins: list[JoinPredicate] = []
+    filters: list[FilterPredicate] = []
+    if where_clause.strip():
+        # Protect the AND inside BETWEEN clauses before splitting conditions.
+        protected = re.sub(
+            r"(\bBETWEEN\b\s+[\w.'\"-]+\s+)AND\b",
+            r"\1__BETWEEN_CONJ__",
+            where_clause,
+            flags=re.IGNORECASE,
+        )
+        for condition in re.split(r"\bAND\b", protected, flags=re.IGNORECASE):
+            condition = condition.replace("__BETWEEN_CONJ__", "AND")
+            condition = condition.strip()
+            if not condition:
+                continue
+            between = _BETWEEN_RE.match(condition)
+            if between:
+                alias, column, low, high = between.groups()
+                filters.append(
+                    FilterPredicate(
+                        alias,
+                        column,
+                        ComparisonOp.BETWEEN,
+                        (_parse_literal(low), _parse_literal(high)),
+                    )
+                )
+                continue
+            in_match = _IN_RE.match(condition)
+            if in_match:
+                alias, column, values = in_match.groups()
+                parsed = tuple(_parse_literal(v) for v in values.split(","))
+                filters.append(FilterPredicate(alias, column, ComparisonOp.IN, parsed))
+                continue
+            join = _JOIN_RE.match(condition)
+            if join:
+                la, lc, ra, rc = join.groups()
+                joins.append(JoinPredicate(la, lc, ra, rc))
+                continue
+            cmp_match = _CMP_RE.match(condition)
+            if cmp_match:
+                alias, column, op, value = cmp_match.groups()
+                filters.append(
+                    FilterPredicate(
+                        alias, column, ComparisonOp(op), _parse_literal(value)
+                    )
+                )
+                continue
+            raise ValueError(f"unsupported condition: {condition!r}")
+
+    return Query(
+        name=name, tables=tuple(tables), joins=tuple(joins), filters=tuple(filters)
+    )

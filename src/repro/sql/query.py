@@ -1,0 +1,206 @@
+"""The SPJ :class:`Query` object and its join graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.sql.expr import FilterPredicate, JoinPredicate
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A reference to a base table under an alias.
+
+    Attributes:
+        table: Physical table name in the catalog.
+        alias: Alias used inside the query (unique per query).  Several
+            references may point at the same physical table with different
+            aliases, as is common in the Join Order Benchmark.
+    """
+
+    table: str
+    alias: str
+
+    def describe(self) -> str:
+        """Render as ``table AS alias``."""
+        if self.table == self.alias:
+            return self.table
+        return f"{self.table} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project-join query block.
+
+    Attributes:
+        name: Identifier used in workloads and reports (e.g. ``"q7b"``).
+        tables: Table references (at least one).
+        joins: Equi-join predicates connecting the aliases.  The induced join
+            graph must be connected for the query to be plannable without
+            cross products.
+        filters: Single-table filter predicates.
+    """
+
+    name: str
+    tables: tuple[TableRef, ...]
+    joins: tuple[JoinPredicate, ...] = ()
+    filters: tuple[FilterPredicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        aliases = [t.alias for t in self.tables]
+        if len(aliases) != len(set(aliases)):
+            raise ValueError(f"query {self.name!r} has duplicate aliases: {aliases}")
+        alias_set = set(aliases)
+        for join in self.joins:
+            if join.left_alias not in alias_set or join.right_alias not in alias_set:
+                raise ValueError(
+                    f"query {self.name!r}: join {join.describe()} references an "
+                    f"alias not in the FROM list"
+                )
+        for flt in self.filters:
+            if flt.alias not in alias_set:
+                raise ValueError(
+                    f"query {self.name!r}: filter {flt.describe()} references an "
+                    f"alias not in the FROM list"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def aliases(self) -> tuple[str, ...]:
+        """All aliases in FROM-list order."""
+        return tuple(t.alias for t in self.tables)
+
+    @cached_property
+    def alias_to_table(self) -> Mapping[str, str]:
+        """Mapping from alias to physical table name."""
+        return {t.alias: t.table for t in self.tables}
+
+    @property
+    def num_tables(self) -> int:
+        """Number of joined relations."""
+        return len(self.tables)
+
+    @property
+    def num_joins(self) -> int:
+        """Number of join predicates."""
+        return len(self.joins)
+
+    @cached_property
+    def join_graph(self) -> nx.Graph:
+        """The join graph: nodes are aliases, edges are join predicates.
+
+        Edge attribute ``predicates`` holds the list of
+        :class:`~repro.sql.expr.JoinPredicate` between the two aliases.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(self.aliases)
+        for join in self.joins:
+            a, b = join.left_alias, join.right_alias
+            if graph.has_edge(a, b):
+                graph.edges[a, b]["predicates"].append(join)
+            else:
+                graph.add_edge(a, b, predicates=[join])
+        return graph
+
+    def is_connected(self) -> bool:
+        """Whether the join graph is connected (no cross products required)."""
+        if self.num_tables <= 1:
+            return True
+        return nx.is_connected(self.join_graph)
+
+    def filters_for(self, alias: str) -> tuple[FilterPredicate, ...]:
+        """Filters applying to ``alias``."""
+        return tuple(f for f in self.filters if f.alias == alias)
+
+    def joins_between(
+        self, left: Iterable[str], right: Iterable[str]
+    ) -> tuple[JoinPredicate, ...]:
+        """Join predicates connecting any alias in ``left`` with any in ``right``."""
+        left_set, right_set = set(left), set(right)
+        found = []
+        for join in self.joins:
+            a, b = join.left_alias, join.right_alias
+            if (a in left_set and b in right_set) or (a in right_set and b in left_set):
+                found.append(join)
+        return tuple(found)
+
+    def joins_within(self, aliases: Iterable[str]) -> tuple[JoinPredicate, ...]:
+        """Join predicates fully contained in the alias set."""
+        alias_set = set(aliases)
+        return tuple(
+            j
+            for j in self.joins
+            if j.left_alias in alias_set and j.right_alias in alias_set
+        )
+
+    def connected_subset(self, aliases: Iterable[str]) -> bool:
+        """Whether ``aliases`` induce a connected subgraph of the join graph."""
+        alias_list = list(aliases)
+        if len(alias_list) <= 1:
+            return True
+        sub = self.join_graph.subgraph(alias_list)
+        return nx.is_connected(sub)
+
+    def restricted_to(self, aliases: Iterable[str], name: str | None = None) -> "Query":
+        """Return the query restricted to a subset of its aliases.
+
+        Used by simulation data collection (paper §3.2): each enumerated
+        subplan ``T`` is paired with ``query=T``, i.e. the original query
+        restricted to the tables and filters of ``T``.
+        """
+        alias_set = set(aliases)
+        tables = tuple(t for t in self.tables if t.alias in alias_set)
+        joins = self.joins_within(alias_set)
+        filters = tuple(f for f in self.filters if f.alias in alias_set)
+        return Query(
+            name=name or f"{self.name}[{'+'.join(sorted(alias_set))}]",
+            tables=tables,
+            joins=joins,
+            filters=filters,
+        )
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return (
+            f"Query({self.name}: {self.num_tables} tables, "
+            f"{self.num_joins} joins, {len(self.filters)} filters)"
+        )
+
+
+@dataclass
+class QuerySet:
+    """A named collection of queries (a workload split).
+
+    Attributes:
+        name: Split name, e.g. ``"job/train"``.
+        queries: The queries in the split.
+    """
+
+    name: str
+    queries: list[Query] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __getitem__(self, idx: int) -> Query:
+        return self.queries[idx]
+
+    def by_name(self, name: str) -> Query:
+        """Look a query up by its name."""
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise KeyError(f"no query named {name!r} in {self.name}")
+
+    def names(self) -> list[str]:
+        """All query names, in order."""
+        return [q.name for q in self.queries]

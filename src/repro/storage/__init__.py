@@ -1,0 +1,21 @@
+"""In-memory column-store storage layer.
+
+Tables are dictionaries of numpy arrays.  Each table can build per-column hash
+indexes (value -> row positions) which the execution engine's indexed
+nested-loop join uses, mirroring the primary/foreign-key indexes the paper
+creates for the Join Order Benchmark (§8.1, "Expert performance").
+"""
+
+from repro.storage.table import Table
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.statistics import ColumnStatistics, TableStatistics, collect_statistics
+
+__all__ = [
+    "Table",
+    "Database",
+    "HashIndex",
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_statistics",
+]

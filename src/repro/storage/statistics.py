@@ -1,0 +1,133 @@
+"""Per-column statistics: row counts, distinct counts and equi-depth histograms.
+
+These statistics feed the histogram cardinality estimator
+(:mod:`repro.cardinality.estimator`), which plays the role of PostgreSQL's
+``ANALYZE``-collected statistics in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.database import Database
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for one column.
+
+    Attributes:
+        num_rows: Table row count.
+        num_distinct: Number of distinct values.
+        min_value: Minimum value.
+        max_value: Maximum value.
+        histogram_bounds: Equi-depth histogram bucket boundaries
+            (``num_buckets + 1`` values).
+        most_common_values: The most frequent values (like PostgreSQL's MCV list).
+        most_common_fractions: Their frequencies as fractions of the table.
+    """
+
+    num_rows: int
+    num_distinct: int
+    min_value: float
+    max_value: float
+    histogram_bounds: np.ndarray
+    most_common_values: np.ndarray
+    most_common_fractions: np.ndarray
+
+    def equality_selectivity(self, value: object) -> float:
+        """Selectivity of ``column = value`` (MCV list, then uniform fallback)."""
+        if self.num_rows == 0:
+            return 0.0
+        matches = np.flatnonzero(self.most_common_values == value)
+        if len(matches):
+            return float(self.most_common_fractions[matches[0]])
+        remaining_fraction = max(0.0, 1.0 - float(self.most_common_fractions.sum()))
+        remaining_distinct = max(1, self.num_distinct - len(self.most_common_values))
+        return remaining_fraction / remaining_distinct
+
+    def range_selectivity(self, low: float | None, high: float | None) -> float:
+        """Selectivity of ``low <= column <= high`` using the histogram."""
+        if self.num_rows == 0:
+            return 0.0
+        lo = self.min_value if low is None else float(low)
+        hi = self.max_value if high is None else float(high)
+        if hi < lo:
+            return 0.0
+        bounds = self.histogram_bounds
+        if len(bounds) < 2 or bounds[-1] == bounds[0]:
+            return 1.0 if lo <= self.min_value <= hi else 0.5
+        num_buckets = len(bounds) - 1
+        # Fraction of each bucket covered by [lo, hi], assuming uniformity
+        # inside buckets (exactly PostgreSQL's approach).
+        total = 0.0
+        for i in range(num_buckets):
+            b_lo, b_hi = float(bounds[i]), float(bounds[i + 1])
+            width = max(b_hi - b_lo, 1e-12)
+            overlap = max(0.0, min(hi, b_hi) - max(lo, b_lo))
+            if b_lo == b_hi and lo <= b_lo <= hi:
+                overlap = width
+            total += min(1.0, overlap / width)
+        return min(1.0, total / num_buckets)
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for one table: row count plus per-column statistics."""
+
+    num_rows: int
+    columns: dict[str, ColumnStatistics]
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Statistics for column ``name``."""
+        return self.columns[name]
+
+
+def _column_statistics(
+    array: np.ndarray, num_buckets: int, num_mcv: int
+) -> ColumnStatistics:
+    """Compute :class:`ColumnStatistics` for one numpy column."""
+    num_rows = len(array)
+    if num_rows == 0:
+        return ColumnStatistics(0, 0, 0.0, 0.0, np.zeros(2), np.array([]), np.array([]))
+    values, counts = np.unique(array, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    top = order[: min(num_mcv, len(order))]
+    mcv = values[top]
+    mcv_fracs = counts[top] / num_rows
+    quantiles = np.linspace(0.0, 1.0, num_buckets + 1)
+    bounds = np.quantile(array, quantiles)
+    return ColumnStatistics(
+        num_rows=num_rows,
+        num_distinct=len(values),
+        min_value=float(values.min()),
+        max_value=float(values.max()),
+        histogram_bounds=np.asarray(bounds, dtype=np.float64),
+        most_common_values=mcv,
+        most_common_fractions=np.asarray(mcv_fracs, dtype=np.float64),
+    )
+
+
+def collect_statistics(
+    database: Database, num_buckets: int = 20, num_mcv: int = 10
+) -> dict[str, TableStatistics]:
+    """Run the equivalent of ``ANALYZE`` over the whole database.
+
+    Args:
+        database: The database to profile.
+        num_buckets: Equi-depth histogram bucket count per column.
+        num_mcv: Number of most-common values tracked per column.
+
+    Returns:
+        Mapping from table name to :class:`TableStatistics`.
+    """
+    stats: dict[str, TableStatistics] = {}
+    for name, table in database.tables.items():
+        columns = {
+            column: _column_statistics(values, num_buckets, num_mcv)
+            for column, values in table.columns.items()
+        }
+        stats[name] = TableStatistics(num_rows=table.num_rows, columns=columns)
+    return stats

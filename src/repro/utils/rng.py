@@ -1,0 +1,66 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library accepts either a seed or a
+``numpy.random.Generator``.  The helpers here make it easy to derive
+independent, reproducible streams from a single root seed, which the
+experiments use to control run-to-run variance (the paper reports medians of
+8 seeded runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *names: object) -> int:
+    """Derive a stable child seed from ``root_seed`` and a path of names.
+
+    The derivation is order-sensitive and collision-resistant enough for
+    experiment bookkeeping (SHA-256 over the textual path).
+
+    Args:
+        root_seed: The experiment-level seed.
+        *names: Any hashable path components (strings, ints, ...).
+
+    Returns:
+        A non-negative 63-bit integer usable as a numpy seed.
+    """
+    text = repr((int(root_seed),) + tuple(str(n) for n in names))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)
+
+
+def new_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Passing an existing generator returns it unchanged; passing ``None``
+    returns a freshly seeded generator from OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class RngFactory:
+    """Factory producing named, independent random streams from one seed.
+
+    Example:
+        >>> factory = RngFactory(7)
+        >>> a = factory.make("datagen")
+        >>> b = factory.make("exploration")
+        >>> a is not b
+        True
+    """
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+
+    def seed_for(self, *names: object) -> int:
+        """Return the derived integer seed for a named stream."""
+        return derive_seed(self.root_seed, *names)
+
+    def make(self, *names: object) -> np.random.Generator:
+        """Return a new generator for a named stream."""
+        return np.random.default_rng(self.seed_for(*names))

@@ -1,0 +1,60 @@
+"""Wall-clock timing helpers used by the training loops and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A restartable stopwatch measuring elapsed wall-clock seconds.
+
+    Example:
+        >>> sw = Stopwatch()
+        >>> sw.start()
+        >>> _ = sw.stop()
+        >>> sw.elapsed >= 0.0
+        True
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return total elapsed seconds."""
+        if self._started_at is not None:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the stopwatch."""
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration as a short human-readable string."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 120:
+        return f"{int(minutes)}m{secs:04.1f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h{int(minutes)}m"

@@ -1,0 +1,28 @@
+"""Workloads: JOB-like, Ext-JOB-like and TPC-H-like query sets plus benchmarks.
+
+``make_job_benchmark`` / ``make_tpch_benchmark`` assemble everything an
+experiment needs — synthetic database, execution engine, cardinality
+estimator, featuriser, expert optimizers, train/test splits — into a single
+:class:`~repro.workloads.benchmark.WorkloadBenchmark`.
+"""
+
+from repro.workloads.job import make_ext_job_queries, make_job_queries
+from repro.workloads.tpch import make_tpch_queries
+from repro.workloads.splits import random_split, slow_split, template_split
+from repro.workloads.benchmark import (
+    WorkloadBenchmark,
+    make_job_benchmark,
+    make_tpch_benchmark,
+)
+
+__all__ = [
+    "make_job_queries",
+    "make_ext_job_queries",
+    "make_tpch_queries",
+    "random_split",
+    "slow_split",
+    "template_split",
+    "WorkloadBenchmark",
+    "make_job_benchmark",
+    "make_tpch_benchmark",
+]

@@ -1,0 +1,76 @@
+"""Train/test splits of a workload (paper §8.1 and §8.5).
+
+- **Random split**: a randomly sampled test set (the main "JOB" setting).
+- **Slow split**: the test set is the N slowest queries when planned by an
+  expert optimizer ("JOB Slow").
+- **Template split**: whole join templates are held out (the "4 slowest
+  templates" split and Ext-JOB-style generalisation).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.sql.query import Query, QuerySet
+from repro.utils.rng import new_rng
+
+
+def random_split(
+    queries: Sequence[Query], test_size: int, seed: int = 0, name: str = "job"
+) -> tuple[QuerySet, QuerySet]:
+    """Randomly split queries into train/test sets."""
+    if test_size >= len(queries):
+        raise ValueError("test_size must be smaller than the workload")
+    rng = new_rng(seed)
+    order = rng.permutation(len(queries))
+    test_idx = set(order[:test_size].tolist())
+    train = [q for i, q in enumerate(queries) if i not in test_idx]
+    test = [q for i, q in enumerate(queries) if i in test_idx]
+    return QuerySet(f"{name}/train", train), QuerySet(f"{name}/test", test)
+
+
+def slow_split(
+    queries: Sequence[Query],
+    expert_runtimes: Mapping[str, float],
+    test_size: int,
+    name: str = "job_slow",
+) -> tuple[QuerySet, QuerySet]:
+    """Hold out the slowest queries (by expert runtime) as the test set."""
+    missing = [q.name for q in queries if q.name not in expert_runtimes]
+    if missing:
+        raise KeyError(f"expert runtimes missing for queries: {missing[:5]}")
+    ordered = sorted(queries, key=lambda q: expert_runtimes[q.name], reverse=True)
+    test_names = {q.name for q in ordered[:test_size]}
+    train = [q for q in queries if q.name not in test_names]
+    test = [q for q in queries if q.name in test_names]
+    return QuerySet(f"{name}/train", train), QuerySet(f"{name}/test", test)
+
+
+def template_split(
+    queries: Sequence[Query],
+    template_of: Mapping[str, int],
+    test_templates: Sequence[int],
+    name: str = "job_templates",
+) -> tuple[QuerySet, QuerySet]:
+    """Hold out all queries belonging to the given templates."""
+    test_set = set(test_templates)
+    train = [q for q in queries if template_of[q.name] not in test_set]
+    test = [q for q in queries if template_of[q.name] in test_set]
+    return QuerySet(f"{name}/train", train), QuerySet(f"{name}/test", test)
+
+
+def slowest_templates(
+    queries: Sequence[Query],
+    template_of: Mapping[str, int],
+    expert_runtimes: Mapping[str, float],
+    num_templates: int = 4,
+) -> list[int]:
+    """The templates with the largest total expert runtime (paper §8.5)."""
+    totals: dict[int, float] = {}
+    for query in queries:
+        template = template_of[query.name]
+        totals[template] = totals.get(template, 0.0) + expert_runtimes[query.name]
+    ranked = sorted(totals, key=lambda t: totals[t], reverse=True)
+    return ranked[:num_templates]

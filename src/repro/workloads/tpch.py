@@ -1,0 +1,189 @@
+"""A TPC-H-like workload: SPJ approximations of the paper's templates.
+
+Paper §8.1 uses TPC-H templates 3, 5, 7, 8, 12, 13, 14 for training and
+template 10 for testing, with 10 queries generated per template (avoiding
+templates with views/sub-queries).  Balsa optimizes the select-project-join
+block of each query, so this generator emits the SPJ skeleton of each template
+(its join graph and filterable predicates) and draws literals per instance,
+exactly the part of TPC-H that exercises the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sql.expr import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.sql.query import Query, TableRef
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class TpchTemplate:
+    """SPJ skeleton of one TPC-H template."""
+
+    number: int
+    tables: tuple[TableRef, ...]
+    joins: tuple[JoinPredicate, ...]
+    filter_slots: tuple[tuple[str, str, str], ...]  # (alias, column, kind)
+
+
+def _templates() -> dict[int, TpchTemplate]:
+    """The SPJ skeletons of templates 3, 5, 7, 8, 10, 12, 13, 14."""
+    t = {}
+    t[3] = TpchTemplate(
+        3,
+        (TableRef("customer", "c"), TableRef("orders", "o"), TableRef("lineitem", "l")),
+        (
+            JoinPredicate("c", "id", "o", "o_custkey"),
+            JoinPredicate("o", "id", "l", "l_orderkey"),
+        ),
+        (("c", "c_mktsegment", "small_eq"), ("o", "o_orderdate", "date_lt"), ("l", "l_shipdate", "date_gt")),
+    )
+    t[5] = TpchTemplate(
+        5,
+        (
+            TableRef("customer", "c"), TableRef("orders", "o"), TableRef("lineitem", "l"),
+            TableRef("supplier", "s"), TableRef("nation", "n"), TableRef("region", "r"),
+        ),
+        (
+            JoinPredicate("c", "id", "o", "o_custkey"),
+            JoinPredicate("o", "id", "l", "l_orderkey"),
+            JoinPredicate("l", "l_suppkey", "s", "id"),
+            JoinPredicate("s", "s_nationkey", "n", "id"),
+            JoinPredicate("n", "n_regionkey", "r", "id"),
+        ),
+        (("r", "r_name", "tiny_eq"), ("o", "o_orderdate", "date_between")),
+    )
+    t[7] = TpchTemplate(
+        7,
+        (
+            TableRef("supplier", "s"), TableRef("lineitem", "l"), TableRef("orders", "o"),
+            TableRef("customer", "c"), TableRef("nation", "n1"), TableRef("nation", "n2"),
+        ),
+        (
+            JoinPredicate("s", "id", "l", "l_suppkey"),
+            JoinPredicate("o", "id", "l", "l_orderkey"),
+            JoinPredicate("c", "id", "o", "o_custkey"),
+            JoinPredicate("s", "s_nationkey", "n1", "id"),
+            JoinPredicate("c", "c_nationkey", "n2", "id"),
+        ),
+        (("n1", "n_name", "nation_eq"), ("n2", "n_name", "nation_eq"), ("l", "l_shipdate", "date_between")),
+    )
+    t[8] = TpchTemplate(
+        8,
+        (
+            TableRef("part", "p"), TableRef("supplier", "s"), TableRef("lineitem", "l"),
+            TableRef("orders", "o"), TableRef("customer", "c"), TableRef("nation", "n1"),
+            TableRef("nation", "n2"), TableRef("region", "r"),
+        ),
+        (
+            JoinPredicate("p", "id", "l", "l_partkey"),
+            JoinPredicate("s", "id", "l", "l_suppkey"),
+            JoinPredicate("l", "l_orderkey", "o", "id"),
+            JoinPredicate("o", "o_custkey", "c", "id"),
+            JoinPredicate("c", "c_nationkey", "n1", "id"),
+            JoinPredicate("n1", "n_regionkey", "r", "id"),
+            JoinPredicate("s", "s_nationkey", "n2", "id"),
+        ),
+        (("p", "p_type", "cat_eq"), ("r", "r_name", "tiny_eq"), ("o", "o_orderdate", "date_between")),
+    )
+    t[10] = TpchTemplate(
+        10,
+        (
+            TableRef("customer", "c"), TableRef("orders", "o"), TableRef("lineitem", "l"),
+            TableRef("nation", "n"),
+        ),
+        (
+            JoinPredicate("c", "id", "o", "o_custkey"),
+            JoinPredicate("o", "id", "l", "l_orderkey"),
+            JoinPredicate("c", "c_nationkey", "n", "id"),
+        ),
+        (("o", "o_orderdate", "date_between"), ("l", "l_returnflag", "tiny_eq")),
+    )
+    t[12] = TpchTemplate(
+        12,
+        (TableRef("orders", "o"), TableRef("lineitem", "l")),
+        (JoinPredicate("o", "id", "l", "l_orderkey"),),
+        (("l", "l_shipmode", "shipmode_in"), ("l", "l_receiptdate", "date_between")),
+    )
+    t[13] = TpchTemplate(
+        13,
+        (TableRef("customer", "c"), TableRef("orders", "o")),
+        (JoinPredicate("c", "id", "o", "o_custkey"),),
+        (("o", "o_orderpriority", "small_eq"),),
+    )
+    t[14] = TpchTemplate(
+        14,
+        (TableRef("lineitem", "l"), TableRef("part", "p")),
+        (JoinPredicate("l", "l_partkey", "p", "id"),),
+        (("l", "l_shipdate", "date_between"), ("p", "p_size", "size_le")),
+    )
+    return t
+
+
+def _draw_filter(rng: np.random.Generator, alias: str, column: str, kind: str) -> FilterPredicate:
+    if kind == "date_lt":
+        return FilterPredicate(alias, column, ComparisonOp.LT, int(rng.integers(800, 2200)))
+    if kind == "date_gt":
+        return FilterPredicate(alias, column, ComparisonOp.GT, int(rng.integers(300, 1700)))
+    if kind == "date_between":
+        low = int(rng.integers(0, 1800))
+        return FilterPredicate(alias, column, ComparisonOp.BETWEEN, (low, low + int(rng.integers(200, 700))))
+    if kind == "small_eq":
+        return FilterPredicate(alias, column, ComparisonOp.EQ, int(rng.integers(0, 5)))
+    if kind == "tiny_eq":
+        return FilterPredicate(alias, column, ComparisonOp.EQ, int(rng.integers(0, 3)))
+    if kind == "nation_eq":
+        return FilterPredicate(alias, column, ComparisonOp.EQ, int(rng.integers(0, 25)))
+    if kind == "cat_eq":
+        return FilterPredicate(alias, column, ComparisonOp.EQ, int(rng.integers(0, 150)))
+    if kind == "shipmode_in":
+        values = tuple(sorted(set(int(v) for v in rng.integers(0, 7, size=2))))
+        return FilterPredicate(alias, column, ComparisonOp.IN, values)
+    if kind == "size_le":
+        return FilterPredicate(alias, column, ComparisonOp.LE, int(rng.integers(5, 50)))
+    raise ValueError(f"unknown filter kind {kind!r}")
+
+
+def make_tpch_queries(
+    train_templates: tuple[int, ...] = (3, 5, 7, 8, 12, 13, 14),
+    test_templates: tuple[int, ...] = (10,),
+    queries_per_template: int = 10,
+    seed: int = 0,
+) -> tuple[list[Query], list[Query]]:
+    """Generate the TPC-H-like train/test workloads.
+
+    Args:
+        train_templates: Template numbers used for training.
+        test_templates: Template numbers used for testing.
+        queries_per_template: Instances generated per template.
+        seed: RNG seed.
+
+    Returns:
+        ``(train_queries, test_queries)``.
+    """
+    rng = new_rng(seed)
+    skeletons = _templates()
+
+    def instantiate(numbers: tuple[int, ...]) -> list[Query]:
+        queries = []
+        for number in numbers:
+            template = skeletons[number]
+            for v in range(queries_per_template):
+                filters = tuple(
+                    _draw_filter(rng, alias, column, kind)
+                    for alias, column, kind in template.filter_slots
+                )
+                queries.append(
+                    Query(
+                        name=f"tpch{number}_{v + 1}",
+                        tables=template.tables,
+                        joins=template.joins,
+                        filters=filters,
+                    )
+                )
+        return queries
+
+    return instantiate(train_templates), instantiate(test_templates)

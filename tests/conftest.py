@@ -1,0 +1,111 @@
+"""Shared fixtures: a small synthetic database, queries and derived objects.
+
+Fixtures are session-scoped where safe (the database and statistics are
+read-only) so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cardinality.estimator import HistogramEstimator
+from repro.catalog.datagen import generate_database
+from repro.catalog.imdb import make_imdb_schema
+from repro.catalog.tpch import make_tpch_schema
+from repro.execution.engine import ExecutionEngine
+from repro.featurization.featurizer import QueryPlanFeaturizer
+from repro.sql.expr import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.sql.query import Query, TableRef
+
+
+@pytest.fixture(scope="session")
+def imdb_database():
+    """A small IMDb-like database with PK/FK indexes built."""
+    schema = make_imdb_schema(fact_rows=500)
+    database = generate_database(schema, scale=1.0, seed=7)
+    database.build_join_indexes()
+    return database
+
+
+@pytest.fixture(scope="session")
+def tpch_database():
+    """A small TPC-H-like database with PK/FK indexes built."""
+    schema = make_tpch_schema(base_rows=300)
+    database = generate_database(schema, scale=1.0, seed=7)
+    database.build_join_indexes()
+    return database
+
+
+@pytest.fixture(scope="session")
+def engine(imdb_database):
+    """Execution engine over the IMDb-like database."""
+    return ExecutionEngine(imdb_database)
+
+
+@pytest.fixture(scope="session")
+def estimator(imdb_database):
+    """Histogram cardinality estimator over the IMDb-like database."""
+    return HistogramEstimator(imdb_database)
+
+
+@pytest.fixture(scope="session")
+def featurizer(imdb_database, estimator):
+    """Query/plan featuriser over the IMDb-like schema."""
+    return QueryPlanFeaturizer(imdb_database.schema, estimator)
+
+
+def make_three_table_query(name: str = "q3") -> Query:
+    """title ⋈ movie_companies ⋈ company_name with two filters."""
+    return Query(
+        name=name,
+        tables=(
+            TableRef("title", "t"),
+            TableRef("movie_companies", "mc"),
+            TableRef("company_name", "cn"),
+        ),
+        joins=(
+            JoinPredicate("t", "id", "mc", "movie_id"),
+            JoinPredicate("mc", "company_id", "cn", "id"),
+        ),
+        filters=(
+            FilterPredicate("t", "production_year", ComparisonOp.GT, 1980),
+            FilterPredicate("cn", "country_code", ComparisonOp.EQ, 2),
+        ),
+    )
+
+
+def make_five_table_query(name: str = "q5") -> Query:
+    """A 5-way star join around title with three filters."""
+    return Query(
+        name=name,
+        tables=(
+            TableRef("title", "t"),
+            TableRef("movie_companies", "mc"),
+            TableRef("company_name", "cn"),
+            TableRef("movie_info", "mi"),
+            TableRef("info_type", "it"),
+        ),
+        joins=(
+            JoinPredicate("t", "id", "mc", "movie_id"),
+            JoinPredicate("mc", "company_id", "cn", "id"),
+            JoinPredicate("t", "id", "mi", "movie_id"),
+            JoinPredicate("mi", "info_type_id", "it", "id"),
+        ),
+        filters=(
+            FilterPredicate("t", "production_year", ComparisonOp.BETWEEN, (1950, 2000)),
+            FilterPredicate("cn", "country_code", ComparisonOp.IN, (0, 1, 2)),
+            FilterPredicate("it", "info", ComparisonOp.EQ, 1),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def three_table_query():
+    """A 3-table SPJ query."""
+    return make_three_table_query()
+
+
+@pytest.fixture(scope="session")
+def five_table_query():
+    """A 5-table SPJ query."""
+    return make_five_table_query()

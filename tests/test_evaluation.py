@@ -1,0 +1,142 @@
+"""Tests for metrics, reporting and the experiment runners (smallest configs)."""
+
+import math
+
+import pytest
+
+from repro.evaluation.experiments import ExperimentScale
+from repro.evaluation import experiments
+from repro.evaluation.metrics import (
+    median_and_range,
+    normalized_runtime,
+    per_query_speedups,
+    speedup,
+    workload_runtime,
+)
+from repro.evaluation.reporting import format_series, format_table
+
+
+class TestMetrics:
+    def test_workload_runtime(self):
+        assert workload_runtime({"a": 1.0, "b": 2.5}) == 3.5
+
+    def test_normalized_runtime_and_speedup(self):
+        ours = {"a": 1.0, "b": 1.0}
+        expert = {"a": 2.0, "b": 2.0, "c": 5.0}
+        assert normalized_runtime(ours, expert) == pytest.approx(0.5)
+        assert speedup(ours, expert) == pytest.approx(2.0)
+
+    def test_normalized_runtime_zero_expert_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_runtime({"a": 1.0}, {"a": 0.0})
+
+    def test_per_query_speedups(self):
+        speedups = per_query_speedups({"a": 0.5}, {"a": 1.0})
+        assert speedups["a"] == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            per_query_speedups({"a": 0.0}, {"a": 1.0})
+
+    def test_median_and_range(self):
+        median, low, high = median_and_range([3.0, 1.0, 2.0])
+        assert (median, low, high) == (2.0, 1.0, 3.0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        assert "bb" in text
+
+    def test_format_series(self):
+        text = format_series({"x": [1.0, 2.0], "y": [3.0]})
+        assert "iteration" in text
+        assert "nan" in text  # padded missing value
+
+
+class TestExperimentScale:
+    def test_presets(self):
+        tiny = ExperimentScale.tiny()
+        small = ExperimentScale.small()
+        paper = ExperimentScale.paper()
+        assert tiny.num_queries < small.num_queries < paper.num_queries
+        assert paper.num_iterations == 500
+
+    def test_config_overrides(self):
+        scale = ExperimentScale.tiny()
+        config = scale.config(seed=3, use_timeouts=False)
+        assert config.seed == 3 and not config.use_timeouts
+
+    def test_benchmark_factory_workloads(self):
+        scale = ExperimentScale(
+            name="unit", fact_rows=300, num_queries=8, num_templates=4,
+            test_size=2, size_range=(3, 5), tpch_rows=200,
+            tpch_queries_per_template=1, num_iterations=1,
+        )
+        job = scale.benchmark("job")
+        tpch = scale.benchmark("tpch")
+        assert len(job.train_queries) == 6
+        assert len(tpch.test_queries) == 1
+        with pytest.raises(ValueError):
+            scale.benchmark("bogus")
+
+
+@pytest.fixture(scope="module")
+def unit_scale():
+    """An even smaller scale than ``tiny`` for exercising runners in tests."""
+    return ExperimentScale(
+        name="unit",
+        fact_rows=300,
+        tpch_rows=200,
+        num_queries=8,
+        num_templates=4,
+        test_size=2,
+        size_range=(3, 5),
+        tpch_queries_per_template=1,
+        num_iterations=2,
+        num_seeds=1,
+        balsa=lambda seed, iterations: ExperimentScale.tiny().balsa(seed, iterations),
+    )
+
+
+class TestExperimentRunners:
+    def test_random_vs_sim_bootstrap(self, unit_scale):
+        result = experiments.run_random_vs_sim_bootstrap(unit_scale, num_random_agents=2)
+        assert result["random_median_slowdown"] > 1.0
+        assert result["sim_bootstrap_slowdown"] < result["random_max_slowdown"] * 2
+        assert result["expert_runtime"] > 0
+
+    def test_table2_simulation_efficiency(self, unit_scale):
+        result = experiments.run_table2_simulation_efficiency(unit_scale, workloads=("job",))
+        row = result["rows"][0]
+        assert row["dataset_size"] > 0
+        assert row["collection_minutes"] >= 0
+        assert row["train_minutes"] >= 0
+
+    def test_figure6_speedups_structure(self, unit_scale):
+        result = experiments.run_figure6_speedups(
+            unit_scale, workloads=("job",), experts=("postgres",)
+        )
+        row = result["rows"][0]
+        assert row["workload"] == "job" and row["expert"] == "postgres"
+        assert math.isfinite(row["train_speedup"]) and row["train_speedup"] > 0
+        assert math.isfinite(row["test_speedup"]) and row["test_speedup"] > 0
+
+    def test_figure14_planning_time(self, unit_scale):
+        result = experiments.run_figure14_planning_time(
+            unit_scale, beam_sizes=(1, 2), top_ks=(1,)
+        )
+        assert len(result["rows"]) == 2
+        for row in result["rows"]:
+            assert row["mean_planning_ms"] > 0
+            assert row["normalized_runtime"] > 0
+
+    def test_figure18_behaviors(self, unit_scale):
+        result = experiments.run_figure18_behaviors(unit_scale)
+        series = result["series"]
+        lengths = {len(v) for v in series.values()}
+        assert len(lengths) == 1 and lengths.pop() == unit_scale.num_iterations
+        for fractions in zip(series["merge_join"], series["nested_loop"], series["hash_join"]):
+            assert abs(sum(fractions) - 1.0) < 1e-6
+        assert set(result["expert"]) == set(series)

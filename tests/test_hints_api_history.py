@@ -1,0 +1,90 @@
+"""Tests for hint sets, the top-level API facade and training-history helpers."""
+
+import pytest
+
+from repro import api
+from repro.agent.history import IterationMetrics, TrainingHistory
+from repro.execution.hints import STANDARD_HINT_SETS, HintSet
+from repro.plans.nodes import JoinOperator, ScanOperator
+
+
+class TestHintSets:
+    def test_default_hint_set_allows_everything(self):
+        hint = HintSet(name="all")
+        assert all(hint.allows_join(op) for op in JoinOperator)
+        assert all(hint.allows_scan(op) for op in ScanOperator)
+
+    def test_standard_hint_sets_unique_names(self):
+        names = [hint.name for hint in STANDARD_HINT_SETS]
+        assert len(names) == len(set(names))
+
+    def test_standard_hint_sets_first_is_unrestricted(self):
+        first = STANDARD_HINT_SETS[0]
+        assert all(first.allows_join(op) for op in JoinOperator)
+
+    def test_every_hint_set_keeps_at_least_one_join_and_scan(self):
+        for hint in STANDARD_HINT_SETS:
+            assert any(hint.allows_join(op) for op in JoinOperator)
+            assert any(hint.allows_scan(op) for op in ScanOperator)
+
+    @pytest.mark.parametrize("hint", STANDARD_HINT_SETS, ids=lambda h: h.name)
+    def test_disabled_operators_really_disabled(self, hint):
+        if hint.name == "no_hashjoin":
+            assert not hint.allows_join(JoinOperator.HASH_JOIN)
+        if hint.name == "no_indexscan":
+            assert not hint.allows_scan(ScanOperator.INDEX_SCAN)
+
+
+class TestApiFacade:
+    def test_reexports_main_entry_points(self):
+        import repro
+
+        assert repro.BalsaAgent is api.BalsaAgent
+        assert repro.BalsaConfig is api.BalsaConfig
+        assert repro.make_job_benchmark is api.make_job_benchmark
+        assert repro.make_tpch_benchmark is api.make_tpch_benchmark
+
+    def test_all_exports_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+def _metrics(iteration, normalized, elapsed, test_normalized=None):
+    return IterationMetrics(
+        iteration=iteration,
+        train_runtime=normalized * 10.0,
+        best_known_runtime=normalized * 9.0,
+        normalized_runtime=normalized,
+        elapsed_seconds=elapsed,
+        unique_plans_seen=10 * (iteration + 1),
+        num_timeouts=0,
+        planning_seconds=0.1,
+        update_seconds=0.2,
+        test_normalized_runtime=test_normalized,
+    )
+
+
+class TestTrainingHistory:
+    def test_final_normalized_runtime(self):
+        history = TrainingHistory(iterations=[_metrics(0, 2.0, 10.0), _metrics(1, 0.8, 20.0)])
+        assert history.final_normalized_runtime() == 0.8
+        assert TrainingHistory().final_normalized_runtime() is None
+
+    def test_elapsed_hours(self):
+        history = TrainingHistory(iterations=[_metrics(0, 2.0, 3600.0)])
+        assert history.elapsed_hours() == [1.0]
+
+    def test_time_to_match_expert(self):
+        history = TrainingHistory(
+            iterations=[_metrics(0, 2.0, 10.0), _metrics(1, 0.9, 20.0), _metrics(2, 0.7, 30.0)]
+        )
+        assert history.time_to_match_expert() == 20.0
+
+    def test_time_to_match_expert_never(self):
+        history = TrainingHistory(iterations=[_metrics(0, 2.0, 10.0)])
+        assert history.time_to_match_expert() is None

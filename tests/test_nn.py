@@ -1,0 +1,245 @@
+"""Tests for the numpy NN substrate, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.early_stopping import EarlyStopping
+from repro.nn.layers import Dropout, Linear, Parameter, ReLU
+from repro.nn.losses import mse_loss
+from repro.nn.optim import SGD, Adam
+from repro.nn.tree_conv import DynamicMaxPool, TreeBatch, TreeConvLayer
+
+
+def numerical_gradient(function, array, epsilon=1e-6):
+    """Central-difference gradient of a scalar-valued function of ``array``."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = function()
+        flat[i] = original - epsilon
+        minus = function()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+def make_tree_batch(rng, batch=3, nodes=4, dim=5):
+    """A small random TreeBatch: chains of nodes with valid child pointers."""
+    slots = nodes + 1
+    features = rng.normal(size=(batch, slots, dim))
+    features[:, 0] = 0.0
+    left = np.zeros((batch, slots), dtype=np.int64)
+    right = np.zeros((batch, slots), dtype=np.int64)
+    valid = np.zeros((batch, slots), dtype=bool)
+    valid[:, 1 : nodes + 1] = True
+    # node i's children are i+1 (left) and i+2 (right) where they exist.
+    for slot in range(1, nodes + 1):
+        if slot + 1 <= nodes:
+            left[:, slot] = slot + 1
+        if slot + 2 <= nodes:
+            right[:, slot] = slot + 2
+    return TreeBatch(features=features, left=left, right=right, valid=valid)
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        parameter = Parameter("p", np.ones((2, 2)))
+        parameter.grad += 3.0
+        parameter.zero_grad()
+        assert np.all(parameter.grad == 0)
+        assert parameter.size == 4
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer.forward(np.random.default_rng(0).normal(size=(7, 4)))
+        assert out.shape == (7, 3)
+
+    def test_gradient_check_weights(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 3, rng=1)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+
+        def loss_value():
+            out = layer.forward(x)
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out = layer.forward(x)
+        layer.weight.zero_grad()
+        layer.bias.zero_grad()
+        layer.backward(out - target)
+        numeric = numerical_gradient(loss_value, layer.weight.value)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-4)
+
+    def test_gradient_check_inputs(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(3, 2, rng=2)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        out = layer.forward(x)
+        grad_input = layer.backward(out - target)
+
+        def loss_value():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        numeric = numerical_gradient(loss_value, x)
+        assert np.allclose(grad_input, numeric, atol=1e-4)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).backward(np.zeros((1, 2)))
+
+
+class TestActivations:
+    def test_relu_forward_and_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+        out = relu.forward(x)
+        assert np.array_equal(out, [[0.0, 2.0], [3.0, 0.0]])
+        grad = relu.backward(np.ones_like(x))
+        assert np.array_equal(grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_dropout_eval_mode_identity(self):
+        dropout = Dropout(0.5, rng=0)
+        x = np.ones((10, 10))
+        assert np.array_equal(dropout.forward(x, training=False), x)
+
+    def test_dropout_training_scales(self):
+        dropout = Dropout(0.5, rng=0)
+        x = np.ones((2000,))
+        out = dropout.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.1
+        assert (out == 0).any()
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLoss:
+    def test_mse_zero_for_equal(self):
+        loss, grad = mse_loss(np.ones(4), np.ones(4))
+        assert loss == 0.0 and np.all(grad == 0)
+
+    def test_mse_gradient_direction(self):
+        loss, grad = mse_loss(np.array([2.0]), np.array([0.0]))
+        assert loss == pytest.approx(4.0)
+        assert grad[0] > 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.ones(3), np.ones(4))
+
+
+class TestOptimizers:
+    def _quadratic_parameters(self):
+        return [Parameter("w", np.array([5.0, -3.0]))]
+
+    @pytest.mark.parametrize("optimizer_cls, kwargs", [(SGD, {"learning_rate": 0.1}), (Adam, {"learning_rate": 0.2})])
+    def test_minimises_quadratic(self, optimizer_cls, kwargs):
+        parameters = self._quadratic_parameters()
+        optimizer = optimizer_cls(parameters, **kwargs)
+        for _ in range(200):
+            optimizer.zero_grad()
+            parameters[0].grad += 2 * parameters[0].value
+            optimizer.step()
+        assert np.all(np.abs(parameters[0].value) < 0.05)
+
+    def test_sgd_momentum_moves_faster_initially(self):
+        plain = self._quadratic_parameters()
+        momentum = self._quadratic_parameters()
+        sgd_plain = SGD(plain, learning_rate=0.01)
+        sgd_momentum = SGD(momentum, learning_rate=0.01, momentum=0.9)
+        for _ in range(50):
+            for params, opt in ((plain, sgd_plain), (momentum, sgd_momentum)):
+                opt.zero_grad()
+                params[0].grad += 2 * params[0].value
+                opt.step()
+        assert np.abs(momentum[0].value).sum() < np.abs(plain[0].value).sum()
+
+    def test_gradient_clipping(self):
+        parameters = [Parameter("w", np.zeros(3))]
+        optimizer = SGD(parameters, learning_rate=1.0)
+        parameters[0].grad += np.array([3.0, 4.0, 0.0])
+        norm = optimizer.clip_gradients(1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(parameters[0].grad) == pytest.approx(1.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(1.0, 0)
+        assert not stopper.update(1.1, 1)
+        assert stopper.update(1.2, 2)
+        assert stopper.should_stop
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, 0)
+        stopper.update(1.1, 1)
+        assert not stopper.update(0.5, 2)
+        assert stopper.best_epoch == 2
+
+
+class TestTreeConv:
+    def test_forward_shape_and_sentinel_zero(self):
+        rng = np.random.default_rng(0)
+        batch = make_tree_batch(rng, batch=2, nodes=3, dim=4)
+        layer = TreeConvLayer(4, 6, rng=0)
+        out = layer.forward(batch)
+        assert out.features.shape == (2, 4, 6)
+        assert np.all(out.features[:, 0] == 0.0)
+
+    def test_gradient_check_weights(self):
+        rng = np.random.default_rng(3)
+        batch = make_tree_batch(rng, batch=2, nodes=3, dim=4)
+        layer = TreeConvLayer(4, 3, rng=3)
+        target = rng.normal(size=(2, 4, 3))
+
+        def loss_value():
+            return 0.5 * float(np.sum((layer.forward(batch).features - target) ** 2))
+
+        out = layer.forward(batch)
+        for parameter in layer.parameters():
+            parameter.zero_grad()
+        layer.backward(out.features - target)
+        for parameter in [layer.w_root, layer.w_left, layer.w_right, layer.bias]:
+            numeric = numerical_gradient(loss_value, parameter.value)
+            assert np.allclose(parameter.grad, numeric, atol=1e-4), parameter.name
+
+    def test_gradient_check_inputs(self):
+        rng = np.random.default_rng(4)
+        batch = make_tree_batch(rng, batch=1, nodes=3, dim=3)
+        layer = TreeConvLayer(3, 2, rng=4)
+        target = rng.normal(size=(1, 4, 2))
+        out = layer.forward(batch)
+        grad_input = layer.backward(out.features - target)
+
+        def loss_value():
+            return 0.5 * float(np.sum((layer.forward(batch).features - target) ** 2))
+
+        numeric = numerical_gradient(loss_value, batch.features)
+        # Sentinel/padded positions are excluded from the comparison: their
+        # features are constants of the encoding, not trainable inputs.
+        mask = batch.valid[..., None]
+        assert np.allclose(grad_input * mask, numeric * mask, atol=1e-4)
+
+    def test_pooling_max_and_backward(self):
+        rng = np.random.default_rng(5)
+        batch = make_tree_batch(rng, batch=2, nodes=3, dim=4)
+        pool = DynamicMaxPool()
+        pooled = pool.forward(batch)
+        assert pooled.shape == (2, 4)
+        expected = batch.features[:, 1:4].max(axis=1)
+        assert np.allclose(pooled, expected)
+        grad = pool.backward(np.ones_like(pooled))
+        assert grad.shape == batch.features.shape
+        # Each (example, channel) routes exactly one unit of gradient.
+        assert grad.sum() == pytest.approx(2 * 4)
+        assert np.all(grad[:, 0] == 0.0)

@@ -1,0 +1,158 @@
+"""Tests for beam search and simulation bootstrapping."""
+
+import pytest
+
+from repro.costmodel.cout import CoutCostModel
+from repro.featurization.featurizer import QueryPlanFeaturizer
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.plans.validation import validate_plan
+from repro.search.beam import BeamSearchPlanner
+from repro.search.state import SearchState
+from repro.plans.builders import join, scan
+from repro.simulation.augment import augment_data_point
+from repro.simulation.collect import collect_simulation_data
+from repro.simulation.trainer import train_simulation_model
+from repro.sql.query import QuerySet
+
+
+SMALL_CONFIG = ValueNetworkConfig(
+    query_hidden=16, query_embedding=8, tree_channels=(16, 8), head_hidden=8, seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def network(featurizer):
+    return ValueNetwork(featurizer, SMALL_CONFIG)
+
+
+class TestSearchState:
+    def test_canonical_ordering(self, three_table_query):
+        q = three_table_query
+        a = SearchState(plans=(scan(q, "t"), scan(q, "mc")))
+        b = SearchState(plans=(scan(q, "mc"), scan(q, "t")))
+        assert a == b and a.fingerprint == b.fingerprint
+
+    def test_terminal_detection(self, three_table_query):
+        q = three_table_query
+        root = SearchState(plans=(scan(q, "t"), scan(q, "mc"), scan(q, "cn")))
+        assert not root.is_terminal()
+        complete = SearchState(
+            plans=(join(join(scan(q, "t"), scan(q, "mc")), scan(q, "cn")),)
+        )
+        assert complete.is_terminal()
+
+    def test_replace_pair(self, three_table_query):
+        q = three_table_query
+        root = SearchState(plans=(scan(q, "t"), scan(q, "mc"), scan(q, "cn")))
+        i = root.plans.index(scan(q, "t"))
+        j = root.plans.index(scan(q, "mc"))
+        child = root.replace_pair(i, j, join(scan(q, "t"), scan(q, "mc")))
+        assert child.num_plans == 2
+        assert child.covered_aliases() == root.covered_aliases()
+
+
+class TestBeamSearch:
+    def test_returns_valid_complete_plans(self, network, five_table_query):
+        planner = BeamSearchPlanner(beam_size=5, top_k=4, enumerate_scan_operators=False)
+        result = planner.plan(five_table_query, network)
+        assert 1 <= len(result.plans) <= 4
+        for plan in result.plans:
+            validate_plan(five_table_query, plan)
+
+    def test_plans_sorted_by_predicted_latency(self, network, five_table_query):
+        planner = BeamSearchPlanner(beam_size=5, top_k=4, enumerate_scan_operators=False)
+        result = planner.plan(five_table_query, network)
+        assert result.predicted_latencies == sorted(result.predicted_latencies)
+
+    def test_greedy_beam_size_one(self, network, three_table_query):
+        planner = BeamSearchPlanner(beam_size=1, top_k=1, enumerate_scan_operators=False)
+        result = planner.plan(three_table_query, network)
+        assert len(result.plans) >= 1
+        validate_plan(three_table_query, result.best_plan)
+
+    def test_scan_operator_enumeration_grows_candidates(self, network, three_table_query):
+        small = BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=False)
+        large = BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=True)
+        plans_without = small.plan(three_table_query, network).plans_scored
+        plans_with = large.plan(three_table_query, network).plans_scored
+        assert plans_with > plans_without
+
+    def test_single_table_query(self, network, imdb_database):
+        from repro.sql.query import Query, TableRef
+
+        query = Query("single", (TableRef("title", "t"),))
+        planner = BeamSearchPlanner(beam_size=2, top_k=1)
+        result = planner.plan(query, network)
+        assert result.best_plan.leaf_aliases == frozenset({"t"})
+
+    def test_planning_time_recorded(self, network, three_table_query):
+        planner = BeamSearchPlanner(beam_size=2, top_k=2, enumerate_scan_operators=False)
+        result = planner.plan(three_table_query, network)
+        assert result.planning_seconds > 0
+        assert result.states_expanded > 0
+
+
+class TestAugmentation:
+    def test_one_point_per_subplan(self, three_table_query):
+        q = three_table_query
+        plan = join(join(scan(q, "t"), scan(q, "mc")), scan(q, "cn"))
+        points = augment_data_point(q, plan, 42.0)
+        assert len(points) == 5
+        assert all(cost == 42.0 for _, _, cost in points)
+        assert any(p.num_tables == 3 for _, p, _ in points)
+        assert sum(1 for _, p, _ in points if p.num_tables == 1) == 3
+
+
+class TestSimulationCollection:
+    def test_collects_and_augments(self, estimator, three_table_query, five_table_query):
+        dataset = collect_simulation_data(
+            [three_table_query, five_table_query],
+            CoutCostModel(estimator),
+            max_points_per_query=None,
+        )
+        assert dataset.queries_collected == 2
+        assert len(dataset) > 20
+        assert dataset.collection_seconds > 0
+        # Subplans inherit the overall candidate's cost: labels are positive.
+        assert (dataset.labels() > 0).all()
+
+    def test_skip_large_queries(self, estimator, five_table_query):
+        dataset = collect_simulation_data(
+            [five_table_query], CoutCostModel(estimator), skip_tables_above=5
+        )
+        assert dataset.queries_skipped == 1
+        assert len(dataset) == 0
+
+    def test_per_query_cap(self, estimator, five_table_query):
+        dataset = collect_simulation_data(
+            [five_table_query], CoutCostModel(estimator), max_points_per_query=50
+        )
+        assert len(dataset) == 50
+
+    def test_merge(self, estimator, three_table_query, five_table_query):
+        a = collect_simulation_data([three_table_query], CoutCostModel(estimator))
+        b = collect_simulation_data([five_table_query], CoutCostModel(estimator))
+        merged = a.merge(b)
+        assert len(merged) == len(a) + len(b)
+        assert merged.queries_collected == 2
+
+
+class TestSimulationTraining:
+    def test_train_simulation_model(self, estimator, featurizer, three_table_query):
+        dataset = collect_simulation_data(
+            [three_table_query], CoutCostModel(estimator), max_points_per_query=200
+        )
+        network, stats = train_simulation_model(
+            dataset,
+            featurizer,
+            network_config=SMALL_CONFIG,
+            max_epochs=3,
+            batch_size=64,
+        )
+        assert stats.dataset_size == len(dataset)
+        assert stats.train_seconds > 0
+        prediction = network.predict_one(
+            three_table_query,
+            join(join(scan(three_table_query, "t"), scan(three_table_query, "mc")), scan(three_table_query, "cn")),
+        )
+        assert prediction > 0

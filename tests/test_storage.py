@@ -1,0 +1,147 @@
+"""Tests for the column store: tables, hash indexes and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.imdb import make_imdb_schema
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.statistics import collect_statistics
+from repro.storage.table import Table
+
+
+class TestTable:
+    def test_num_rows_and_columns(self):
+        table = Table("t", {"id": np.arange(5), "x": np.ones(5)})
+        assert table.num_rows == 5
+        assert set(table.column_names()) == {"id", "x"}
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_unknown_column_raises(self):
+        table = Table("t", {"id": np.arange(3)})
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_index_built_lazily(self):
+        table = Table("t", {"id": np.arange(10)})
+        assert not table.has_index("id")
+        table.index("id")
+        assert table.has_index("id")
+
+    def test_select_returns_positions(self):
+        table = Table("t", {"x": np.array([1, 5, 3, 5])})
+        positions = table.select(table.column("x") == 5)
+        assert positions.tolist() == [1, 3]
+
+    def test_empty_table(self):
+        assert Table("t", {}).num_rows == 0
+
+
+class TestHashIndex:
+    def test_lookup_existing_value(self):
+        index = HashIndex.build(np.array([5, 3, 5, 7, 3, 5]))
+        assert sorted(index.lookup(5).tolist()) == [0, 2, 5]
+        assert sorted(index.lookup(3).tolist()) == [1, 4]
+
+    def test_lookup_missing_value(self):
+        index = HashIndex.build(np.array([1, 2, 3]))
+        assert index.lookup(99).size == 0
+
+    def test_counts(self):
+        index = HashIndex.build(np.array([1, 1, 2]))
+        assert index.num_rows == 3
+        assert index.num_distinct == 2
+
+    def test_lookup_many_matches_individual_lookups(self):
+        column = np.array([4, 1, 4, 2, 9, 4])
+        index = HashIndex.build(column)
+        probes = np.array([4, 7, 1])
+        probe_idx, rows = index.lookup_many(probes)
+        pairs = set(zip(probe_idx.tolist(), rows.tolist()))
+        expected = set()
+        for i, value in enumerate(probes):
+            for row in index.lookup(value):
+                expected.add((i, int(row)))
+        assert pairs == expected
+
+    def test_lookup_many_no_matches(self):
+        index = HashIndex.build(np.array([1, 2, 3]))
+        probe_idx, rows = index.lookup_many(np.array([10, 11]))
+        assert probe_idx.size == 0 and rows.size == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        column=st.lists(st.integers(0, 20), min_size=1, max_size=60),
+        probes=st.lists(st.integers(0, 25), min_size=0, max_size=30),
+    )
+    def test_lookup_many_property(self, column, probes):
+        column = np.array(column)
+        probes = np.array(probes, dtype=np.int64)
+        index = HashIndex.build(column)
+        probe_idx, rows = index.lookup_many(probes)
+        # Every returned pair is a true match.
+        if probe_idx.size:
+            assert np.all(column[rows] == probes[probe_idx])
+        # Total matches equals the brute-force count.
+        brute = sum(int((column == p).sum()) for p in probes)
+        assert probe_idx.size == brute
+
+
+class TestDatabase:
+    def test_add_and_lookup(self, imdb_database):
+        assert imdb_database.table("title").num_rows > 0
+        assert imdb_database.total_rows() > imdb_database.num_rows("title")
+
+    def test_unknown_table_raises(self, imdb_database):
+        with pytest.raises(KeyError):
+            imdb_database.table("nope")
+
+    def test_add_table_not_in_schema_rejected(self):
+        schema = make_imdb_schema(fact_rows=50)
+        database = Database(schema=schema)
+        with pytest.raises(KeyError):
+            database.add_table(Table("unknown", {"id": np.arange(3)}))
+
+    def test_join_indexes_built(self, imdb_database):
+        assert imdb_database.table("movie_companies").has_index("movie_id")
+        assert imdb_database.table("title").has_index("id")
+
+
+class TestStatistics:
+    def test_collect_statistics_shapes(self, imdb_database):
+        stats = collect_statistics(imdb_database, num_buckets=10, num_mcv=5)
+        title = stats["title"]
+        assert title.num_rows == imdb_database.num_rows("title")
+        year = title.column("production_year")
+        assert year.num_distinct > 10
+        assert len(year.histogram_bounds) == 11
+        assert len(year.most_common_values) <= 5
+
+    def test_equality_selectivity_bounds(self, imdb_database):
+        stats = collect_statistics(imdb_database)
+        column = stats["cast_info"].column("role_id")
+        selectivity = column.equality_selectivity(0)
+        assert 0.0 <= selectivity <= 1.0
+
+    def test_range_selectivity_full_range_near_one(self, imdb_database):
+        stats = collect_statistics(imdb_database)
+        column = stats["title"].column("production_year")
+        assert column.range_selectivity(None, None) > 0.95
+        assert column.range_selectivity(column.max_value + 1, None) <= 0.05
+
+    def test_range_selectivity_monotone(self, imdb_database):
+        stats = collect_statistics(imdb_database)
+        column = stats["title"].column("production_year")
+        narrow = column.range_selectivity(1990, 1995)
+        wide = column.range_selectivity(1950, 2010)
+        assert wide >= narrow
+
+    def test_empty_range(self, imdb_database):
+        stats = collect_statistics(imdb_database)
+        column = stats["title"].column("production_year")
+        assert column.range_selectivity(2000, 1990) == 0.0
