@@ -1,0 +1,149 @@
+"""Planner-service throughput: queries/sec, cache-hit speedup, coalescing.
+
+Not a paper figure — this measures the serving layer added on top of the
+paper's beam search.  For each workload (JOB-like and TPC-H-like) the bench
+plans the full query set three ways under one untrained value network:
+
+- ``serial``      — plain ``BeamSearchPlanner.plan`` in a loop (the pre-service
+  baseline; also warms the shared featurizer cache so the service passes
+  measure search + scoring, not featurisation);
+- ``cold``        — ``PlannerService.plan_many`` with a worker pool and the
+  batched scoring bridge, empty plan cache (every request misses);
+- ``warm``        — the same requests again (every request hits the cache).
+
+The numbers to watch: warm/cold speedup (must be >= 5x, it is typically a few
+hundred x), concurrent-vs-serial wall clock, and the bridge's mean forward
+batch size versus the per-frontier batches of serial search.  All headline
+figures are attached to ``benchmark.extra_info`` so ``--benchmark-json``
+artifacts expose them to CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.evaluation.reporting import format_table
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.search.beam import BeamSearchPlanner
+from repro.workloads.benchmark import make_job_benchmark, make_tpch_benchmark
+
+#: CI smoke mode (REPRO_BENCH_QUICK=1) shrinks the workloads further.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _make_planner() -> BeamSearchPlanner:
+    return BeamSearchPlanner(beam_size=5, top_k=3, enumerate_scan_operators=False)
+
+
+def _make_network(benchmark_bundle) -> ValueNetwork:
+    return ValueNetwork(
+        benchmark_bundle.featurizer,
+        ValueNetworkConfig(
+            query_hidden=32, query_embedding=16, tree_channels=(32, 16), head_hidden=16,
+            seed=0,
+        ),
+    )
+
+
+def _measure_workload(bundle, queries, workers: int = 4) -> dict:
+    """Plan ``queries`` serially, then cold and warm through the service."""
+    network = _make_network(bundle)
+    planner = _make_planner()
+
+    serial_started = time.perf_counter()
+    serial_results = [planner.plan(query, network) for query in queries]
+    serial_seconds = time.perf_counter() - serial_started
+
+    with bundle.planner_service(
+        network, planner=_make_planner(), max_workers=workers
+    ) as service:
+        cold_started = time.perf_counter()
+        cold = service.plan_many(queries)
+        cold_seconds = time.perf_counter() - cold_started
+
+        warm_started = time.perf_counter()
+        warm = service.plan_many(queries)
+        warm_seconds = time.perf_counter() - warm_started
+        metrics = service.metrics()
+
+    assert all(not response.cache_hit for response in cold)
+    assert all(response.cache_hit for response in warm)
+    # Concurrent planning returns the same best plans as the serial baseline.
+    for direct, response in zip(serial_results, cold):
+        assert direct.best_plan.fingerprint() == response.best_plan.fingerprint()
+
+    count = len(queries)
+    return {
+        "queries": count,
+        "serial_seconds": serial_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "serial_qps": count / serial_seconds if serial_seconds > 0 else 0.0,
+        "cold_qps": count / cold_seconds if cold_seconds > 0 else 0.0,
+        "warm_qps": count / warm_seconds if warm_seconds > 0 else 0.0,
+        "warm_speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+        "concurrent_speedup": serial_seconds / cold_seconds if cold_seconds > 0 else 0.0,
+        "hit_rate": metrics.hit_rate,
+        "mean_forward_batch": metrics.scoring.mean_batch_examples,
+        "max_forward_batch": metrics.scoring.max_batch_examples,
+    }
+
+
+def _run_service_throughput(scale) -> dict:
+    num_queries = 8 if QUICK else scale.num_queries
+    job = make_job_benchmark(
+        fact_rows=scale.fact_rows,
+        num_queries=num_queries,
+        num_templates=min(scale.num_templates, num_queries),
+        test_size=min(scale.test_size, max(num_queries - 2, 1)),
+        seed=0,
+        size_range=scale.size_range,
+    )
+    tpch = make_tpch_benchmark(
+        base_rows=scale.tpch_rows,
+        queries_per_template=1 if QUICK else scale.tpch_queries_per_template,
+        seed=0,
+    )
+    rows = {
+        "job": _measure_workload(job, job.all_queries()),
+        "tpch": _measure_workload(tpch, tpch.all_queries()),
+    }
+    return rows
+
+
+def bench_service_throughput(benchmark, scale):
+    result = run_once(benchmark, _run_service_throughput, scale)
+    print()
+    print(
+        format_table(
+            [
+                "workload", "queries", "serial q/s", "cold q/s", "warm q/s",
+                "warm speedup", "mean batch",
+            ],
+            [
+                [
+                    name,
+                    row["queries"],
+                    f"{row['serial_qps']:.1f}",
+                    f"{row['cold_qps']:.1f}",
+                    f"{row['warm_qps']:.0f}",
+                    f"{row['warm_speedup']:.0f}x",
+                    f"{row['mean_forward_batch']:.1f}",
+                ]
+                for name, row in result.items()
+            ],
+            title="Planner service throughput (cold = empty cache, warm = repeat)",
+        )
+    )
+    for name, row in result.items():
+        for key in (
+            "serial_qps", "cold_qps", "warm_qps", "warm_speedup",
+            "concurrent_speedup", "mean_forward_batch",
+        ):
+            benchmark.extra_info[f"{name}_{key}"] = round(float(row[key]), 3)
+        # The acceptance bar: a warm cache must be at least 5x faster.
+        assert row["warm_speedup"] >= MIN_WARM_SPEEDUP, (name, row["warm_speedup"])

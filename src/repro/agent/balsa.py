@@ -40,6 +40,7 @@ from repro.model.value_network import ValueNetwork
 from repro.plans.analysis import operator_composition
 from repro.plans.nodes import PlanNode
 from repro.search.beam import BeamSearchPlanner
+from repro.service.service import PlannerService
 from repro.simulation.collect import collect_simulation_data
 from repro.simulation.trainer import train_simulation_model
 from repro.sql.query import Query
@@ -86,6 +87,16 @@ class BalsaAgent:
             beam_size=self.config.beam_size,
             top_k=self.config.top_k,
             enumerate_scan_operators=self.config.enumerate_scan_operators,
+        )
+        # All planning goes through the service: it adds the cross-query plan
+        # cache (keyed on query fingerprint + model version, so weight updates
+        # invalidate naturally), optional concurrency and request metrics.
+        self.planner_service = PlannerService(
+            network_provider=lambda: self.value_network,
+            planner=self.planner,
+            max_workers=self.config.planner_workers,
+            cache_capacity=self.config.plan_cache_capacity,
+            coalesce_scoring=self.config.coalesce_scoring,
         )
         self.cluster = ExecutionCluster(num_nodes=self.config.num_execution_nodes)
         self.history = TrainingHistory()
@@ -162,9 +173,15 @@ class BalsaAgent:
         latencies: list[float] = []
         num_timeouts = 0
 
-        for query in self.environment.train_queries:
-            planner_result = self.planner.plan(query, self.value_network)
-            planning_times.append(planner_result.planning_seconds)
+        # Plan the whole iteration's queries through the service (cache +
+        # optional concurrency); execution and exploration stay serial so
+        # seeded runs remain reproducible.
+        responses = self.planner_service.plan_many(self.environment.train_queries)
+        for query, response in zip(self.environment.train_queries, responses):
+            planner_result = response.result
+            # Cache hits cost (almost) no planning time; charge the measured
+            # per-request planning cost, not the memoised search's.
+            planning_times.append(response.stats.planning_seconds)
             plan = self.exploration.choose(query, planner_result, self.experience)
             chosen.append((query, plan))
 
@@ -265,7 +282,7 @@ class BalsaAgent:
         """Plan a query for deployment: the predicted-best plan (no exploration)."""
         if self.value_network is None:
             raise RuntimeError("agent has not been trained or bootstrapped yet")
-        return self.planner.plan(query, self.value_network).best_plan
+        return self.planner_service.plan(query).best_plan
 
     def evaluate(
         self, queries, timeout: float | None = None
@@ -280,10 +297,14 @@ class BalsaAgent:
         Returns:
             Mapping of query name to ``(plan, latency)``.
         """
+        if self.value_network is None:
+            raise RuntimeError("agent has not been trained or bootstrapped yet")
         budget = timeout if timeout is not None else self.config.test_timeout
+        query_list = list(queries)
+        responses = self.planner_service.plan_many(query_list)
         results: dict[str, tuple[PlanNode, float]] = {}
-        for query in queries:
-            plan = self.plan_query(query)
+        for query, response in zip(query_list, responses):
+            plan = response.best_plan
             result, _ = self.environment.execute(query, plan, timeout=budget)
             results[query.name] = (plan, result.latency)
         return results
@@ -292,6 +313,10 @@ class BalsaAgent:
         """Sum of per-query latencies of the agent's plans for ``queries``."""
         results = self.evaluate(queries, timeout=timeout)
         return float(sum(latency for _, latency in results.values()))
+
+    def close(self) -> None:
+        """Release the planner service's worker pool and scoring bridge."""
+        self.planner_service.close()
 
     # ------------------------------------------------------------------ #
     # Metrics

@@ -51,6 +51,13 @@ class BalsaConfig:
         eval_interval: Evaluate on the test set every this many iterations
             (0 disables periodic test evaluation).
         test_timeout: Safety latency cap used when executing test plans.
+        planner_workers: Worker threads of the agent's planner service
+            (1 keeps planning serial and bit-reproducible across runs).
+        plan_cache_capacity: Entries in the cross-query plan cache fronting
+            beam search (0 disables it).
+        coalesce_scoring: Let concurrent searches share value-network forward
+            passes through the batched scoring bridge (only engaged when
+            ``planner_workers > 1``).
     """
 
     seed: int = 0
@@ -91,6 +98,11 @@ class BalsaConfig:
     eval_interval: int = 10
     test_timeout: float = 600.0
 
+    # Planner service (the serving layer fronting beam search).
+    planner_workers: int = 1
+    plan_cache_capacity: int = 4096
+    coalesce_scoring: bool = True
+
     def with_seed(self, seed: int) -> "BalsaConfig":
         """A copy of the config with a different root seed (per-agent runs)."""
         return replace(self, seed=seed, network=replace(self.network, seed=seed))
@@ -119,4 +131,4 @@ class BalsaConfig:
     @classmethod
     def paper(cls, seed: int = 0) -> "BalsaConfig":
         """The paper-faithful preset (500 iterations, b=20, k=10)."""
-        return cls(seed=seed, num_iterations=500)
+        return cls(seed=seed, num_iterations=500, planner_workers=4)

@@ -10,7 +10,7 @@ timeout label instead of their unknown true latency (§4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.plans.nodes import PlanNode

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import abc
 
-import numpy as np
 
 from repro.agent.experience import ExperienceBuffer
 from repro.optimizer.quickpick import random_plan

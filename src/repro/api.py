@@ -21,6 +21,8 @@ from repro.baselines.bao import BaoAgent
 from repro.baselines.neo import NeoAgent
 from repro.diversity.merge import merge_agent_experiences, retrain_from_experience
 from repro.evaluation.experiments import ExperimentScale
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import PlannerService, ServiceResponse
 from repro.workloads.benchmark import (
     WorkloadBenchmark,
     make_job_benchmark,
@@ -33,6 +35,9 @@ __all__ = [
     "BalsaEnvironment",
     "BaoAgent",
     "NeoAgent",
+    "PlannerService",
+    "ServiceMetrics",
+    "ServiceResponse",
     "merge_agent_experiences",
     "retrain_from_experience",
     "ExperimentScale",

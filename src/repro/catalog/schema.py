@@ -8,8 +8,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
-
 
 class ColumnKind(str, enum.Enum):
     """Statistical shape of a column, used by the data generator."""

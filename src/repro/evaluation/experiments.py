@@ -17,7 +17,7 @@ are the *shapes*: who wins, by roughly what factor, and how curves order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -41,12 +41,10 @@ from repro.evaluation.metrics import (
     speedup,
     workload_runtime,
 )
-from repro.model.value_network import ValueNetworkConfig
 from repro.plans.analysis import JoinOperator, PlanShape
 from repro.search.beam import BeamSearchPlanner
 from repro.simulation.collect import collect_simulation_data
 from repro.simulation.trainer import train_simulation_model
-from repro.utils.rng import derive_seed
 from repro.workloads.benchmark import (
     WorkloadBenchmark,
     make_job_benchmark,

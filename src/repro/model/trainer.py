@@ -155,6 +155,10 @@ class ValueNetworkTrainer:
 
         if best_state is not None:
             self.network.set_state(best_state)
+        else:
+            # set_state already bumps; bump here so plan caches keyed on the
+            # network's version_key() never serve pre-training predictions.
+            self.network.bump_version()
         return history
 
     # ------------------------------------------------------------------ #

@@ -17,7 +17,8 @@ scales of costs to latencies through fine-tuning" (paper footnote 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -56,6 +57,10 @@ class _ForwardCache:
     tree_batch: TreeBatch = None  # type: ignore[assignment]
     node_inputs: TreeBatch = None  # type: ignore[assignment]
     valid: np.ndarray = None  # type: ignore[assignment]
+
+
+#: Process-wide source of unique network identifiers (see ``ValueNetwork.uid``).
+_NETWORK_UIDS = itertools.count()
 
 
 class ValueNetwork:
@@ -105,6 +110,12 @@ class ValueNetwork:
         self.label_mean = 0.0
         self.label_std = 1.0
 
+        # Model identity for cross-query plan caches: ``uid`` distinguishes
+        # network instances, ``version`` increments whenever the weights
+        # change (checkpoint loads, training runs).
+        self.uid = next(_NETWORK_UIDS)
+        self.version = 0
+
         self._cache = _ForwardCache()
 
     # ------------------------------------------------------------------ #
@@ -146,6 +157,20 @@ class ValueNetwork:
                     )
                 parameter.value = values.copy()
                 parameter.grad = np.zeros_like(parameter.value)
+        self.bump_version()
+
+    def bump_version(self) -> None:
+        """Mark the weights as changed.
+
+        Cache layers key plan entries on :meth:`version_key`; call this after
+        any in-place weight mutation (the trainer does so after every fit) so
+        stale predictions are never served.
+        """
+        self.version += 1
+
+    def version_key(self) -> tuple[int, int]:
+        """Identity of this network's current weights, usable as a cache key."""
+        return (self.uid, self.version)
 
     def clone(self) -> "ValueNetwork":
         """A deep copy with identical weights (used for V_sim -> V_real)."""

@@ -8,8 +8,6 @@ alias subset) and Balsa's simulation data collection (§3.2), which records
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import combinations
-from typing import Callable
 
 from repro.costmodel.base import CostModel
 from repro.execution.hints import HintSet

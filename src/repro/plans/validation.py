@@ -8,7 +8,7 @@ paper's beam search and DP enumerator explore.
 
 from __future__ import annotations
 
-from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.plans.nodes import PlanNode
 from repro.sql.query import Query
 
 

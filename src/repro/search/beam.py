@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.model.value_network import ValueNetwork
 from repro.plans.builders import all_join_operators, all_scan_operators, scan
@@ -89,9 +89,24 @@ class BeamSearchPlanner:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def plan(self, query: Query, network: ValueNetwork) -> PlannerResult:
-        """Search for up to ``top_k`` complete plans for ``query``."""
+    def plan(
+        self,
+        query: Query,
+        network: ValueNetwork,
+        score_fn: Callable[[Query, list[PlanNode]], Sequence[float]] | None = None,
+    ) -> PlannerResult:
+        """Search for up to ``top_k`` complete plans for ``query``.
+
+        Args:
+            query: The query to plan.
+            network: Value network guiding the search.
+            score_fn: Optional replacement for ``network.predict`` — the
+                planner service injects its batched scoring bridge here so
+                frontier expansions from concurrent searches coalesce into
+                larger forward passes.
+        """
         started = time.perf_counter()
+        predict = score_fn if score_fn is not None else network.predict
         plan_scores: dict[str, float] = {}
         counter = 0
 
@@ -102,7 +117,7 @@ class BeamSearchPlanner:
             if not unique:
                 return
             ordered = list(unique.values())
-            predictions = network.predict(query, ordered)
+            predictions = predict(query, ordered)
             for plan, value in zip(ordered, predictions):
                 plan_scores[plan.fingerprint()] = float(value)
 

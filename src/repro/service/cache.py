@@ -1,0 +1,119 @@
+"""Cross-query plan cache for the planner service.
+
+Unlike the execution-side :class:`~repro.execution.plan_cache.PlanCache`
+(which memoises *latencies* of executed plans during training), this cache
+memoises *planner results*: the full top-k output of a beam search, keyed by
+the query's structural fingerprint and the version of the model that produced
+it.  A repeated query under an unchanged model skips search entirely; any
+weight update (which bumps :meth:`ValueNetwork.bump_version`) naturally
+invalidates every entry produced by the previous weights.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.search.beam import PlannerResult
+
+#: Cache key: (query structural fingerprint, model version key).
+CacheKey = tuple[str, Hashable]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness.
+
+    Attributes:
+        hits: Lookups answered from the cache.
+        misses: Lookups that fell through to planning.
+        inserts: Entries stored.
+        evictions: Entries evicted by the LRU policy.
+        size: Current number of live entries.
+        capacity: Maximum number of entries.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class ServicePlanCache:
+    """A thread-safe LRU cache of :class:`PlannerResult` objects.
+
+    Args:
+        capacity: Maximum number of entries; the least recently used entry is
+            evicted when full.  Zero disables caching (every lookup misses).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, PlannerResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._inserts = 0
+        self._evictions = 0
+
+    def lookup(self, key: CacheKey) -> PlannerResult | None:
+        """Return the cached result for ``key``, refreshing its recency."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return result
+
+    def store(self, key: CacheKey, result: PlannerResult) -> None:
+        """Insert ``result`` under ``key``, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            self._inserts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                inserts=self._inserts,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,130 @@
+"""Per-request statistics and the aggregated service report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.batching import ScoringBridgeStats
+from repro.service.cache import CacheStats
+
+
+@dataclass
+class RequestStats:
+    """Timing and cache status of one planning request.
+
+    Attributes:
+        query_name: Name of the planned query.
+        cache_hit: Whether the plan cache answered the request.
+        coalesced: Whether the request piggybacked on an identical in-flight
+            request instead of planning on its own (single-flight dedup).
+        queue_wait_seconds: Time between submission and a worker picking the
+            request up.
+        planning_seconds: Time spent inside beam search (0 for cache hits).
+        service_seconds: Total time inside the service (queue wait included).
+        model_version: Version key of the model that served the request.
+    """
+
+    query_name: str
+    cache_hit: bool
+    coalesced: bool
+    queue_wait_seconds: float
+    planning_seconds: float
+    service_seconds: float
+    model_version: object = None
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregated report over every request a service has handled.
+
+    Attributes:
+        requests: Total requests served.
+        cache_hits: Requests answered by the plan cache.
+        cache_misses: Requests that ran a beam search.
+        coalesced_requests: Requests deduplicated onto an in-flight search.
+        total_queue_wait_seconds: Summed queue wait across requests.
+        max_queue_wait_seconds: Worst observed queue wait.
+        total_planning_seconds: Summed beam-search time (misses only).
+        total_service_seconds: Summed end-to-end service time.
+        wall_seconds: Wall-clock time between the first submission and the
+            last completion since the service started (or was reset).
+        cache: Plan-cache counters.
+        scoring: Scoring-bridge counters (zeros when coalescing is off).
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced_requests: int = 0
+    total_queue_wait_seconds: float = 0.0
+    max_queue_wait_seconds: float = 0.0
+    total_planning_seconds: float = 0.0
+    total_service_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+    scoring: ScoringBridgeStats = field(default_factory=ScoringBridgeStats)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered from the cache."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_queue_wait_seconds(self) -> float:
+        """Average queue wait per request."""
+        return self.total_queue_wait_seconds / self.requests if self.requests else 0.0
+
+    @property
+    def mean_planning_seconds(self) -> float:
+        """Average beam-search time per cache miss."""
+        return self.total_planning_seconds / self.cache_misses if self.cache_misses else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Throughput over the observed wall-clock window."""
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """Flatten the report for JSON output (benchmarks, CI artifacts)."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "coalesced_requests": self.coalesced_requests,
+            "hit_rate": self.hit_rate,
+            "mean_queue_wait_seconds": self.mean_queue_wait_seconds,
+            "max_queue_wait_seconds": self.max_queue_wait_seconds,
+            "mean_planning_seconds": self.mean_planning_seconds,
+            "total_planning_seconds": self.total_planning_seconds,
+            "total_service_seconds": self.total_service_seconds,
+            "wall_seconds": self.wall_seconds,
+            "queries_per_second": self.queries_per_second,
+            "cache_size": self.cache.size,
+            "cache_evictions": self.cache.evictions,
+            "scoring_requests": self.scoring.requests,
+            "scoring_examples": self.scoring.examples,
+            "scoring_forward_batches": self.scoring.forward_batches,
+            "scoring_mean_batch": self.scoring.mean_batch_examples,
+            "scoring_max_batch": self.scoring.max_batch_examples,
+        }
+
+    def format_report(self) -> str:
+        """A short human-readable summary."""
+        lines = [
+            f"requests={self.requests} hits={self.cache_hits} "
+            f"misses={self.cache_misses} coalesced={self.coalesced_requests} "
+            f"hit_rate={self.hit_rate:.2%}",
+            f"queue_wait mean={self.mean_queue_wait_seconds * 1e3:.2f}ms "
+            f"max={self.max_queue_wait_seconds * 1e3:.2f}ms",
+            f"planning mean={self.mean_planning_seconds * 1e3:.2f}ms "
+            f"total={self.total_planning_seconds:.3f}s",
+            f"throughput={self.queries_per_second:.1f} q/s "
+            f"over {self.wall_seconds:.3f}s",
+        ]
+        if self.scoring.forward_batches:
+            lines.append(
+                f"scoring batches={self.scoring.forward_batches} "
+                f"mean_batch={self.scoring.mean_batch_examples:.1f} "
+                f"max_batch={self.scoring.max_batch_examples}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,352 @@
+"""The planner service: concurrent, cache-aware multi-query planning.
+
+``PlannerService`` is the front door for planning traffic.  Each request
+passes through three layers:
+
+1. the cross-query :class:`~repro.service.cache.ServicePlanCache` — a
+   repeated query under an unchanged model returns its memoised top-k plans
+   without searching;
+2. single-flight deduplication — identical queries already being planned by
+   another worker wait for that search instead of duplicating it;
+3. the worker pool — independent queries plan concurrently, optionally
+   sharing one :class:`~repro.service.batching.BatchedScoringBridge` so their
+   beam frontiers coalesce into larger value-network forward passes.
+
+Every request is timed (queue wait, planning, end-to-end) and the service
+aggregates the stream into a :class:`~repro.service.metrics.ServiceMetrics`
+report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.model.value_network import ValueNetwork
+from repro.plans.nodes import PlanNode
+from repro.search.beam import BeamSearchPlanner, PlannerResult
+from repro.service.batching import BatchedScoringBridge
+from repro.service.cache import CacheKey, ServicePlanCache
+from repro.service.metrics import RequestStats, ServiceMetrics
+from repro.sql.query import Query
+
+
+@dataclass
+class ServiceResponse:
+    """What the service returns for one planning request.
+
+    Attributes:
+        query: The planned query.
+        result: The planner's top-k output (shared with the cache on hits).
+        stats: Per-request timing and cache status.
+    """
+
+    query: Query
+    result: PlannerResult
+    stats: RequestStats
+
+    @property
+    def best_plan(self) -> PlanNode:
+        """The predicted-best plan."""
+        return self.result.best_plan
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether the plan cache answered this request."""
+        return self.stats.cache_hit
+
+
+class _Flight:
+    """Completion signal for an in-flight search other requests can join."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result: PlannerResult | None = None
+        self.error: BaseException | None = None
+
+
+class PlannerService:
+    """A traffic-serving planning layer over one value network.
+
+    Args:
+        network: The value network guiding every search.  Mutually exclusive
+            with ``network_provider``.
+        network_provider: Zero-argument callable returning the current
+            network; use this when the caller may swap the network object
+            (e.g. an agent retraining from scratch).
+        planner: Beam-search planner to run on cache misses.
+        max_workers: Worker-pool size for :meth:`submit` / :meth:`plan_many`.
+        cache_capacity: Plan-cache capacity in entries (0 disables caching).
+        coalesce_scoring: Route scoring through the shared batching bridge so
+            concurrent searches share forward passes.  Only engaged when
+            ``max_workers > 1`` (with a single worker it cannot help).
+        max_batch_size: Forward-pass size cap for the bridge.
+        coalesce_wait_seconds: Straggler window of the bridge.
+    """
+
+    def __init__(
+        self,
+        network: ValueNetwork | None = None,
+        *,
+        network_provider: Callable[[], ValueNetwork | None] | None = None,
+        planner: BeamSearchPlanner | None = None,
+        max_workers: int = 4,
+        cache_capacity: int = 4096,
+        coalesce_scoring: bool = True,
+        max_batch_size: int = 512,
+        coalesce_wait_seconds: float = 0.001,
+    ):
+        if (network is None) == (network_provider is None):
+            raise ValueError("provide exactly one of network / network_provider")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.network_provider = network_provider or (lambda: network)
+        self.planner = planner or BeamSearchPlanner()
+        self.max_workers = max_workers
+        self.cache = ServicePlanCache(cache_capacity)
+        self._bridge: BatchedScoringBridge | None = None
+        if coalesce_scoring and max_workers > 1:
+            self._bridge = BatchedScoringBridge(
+                self._network,
+                max_batch_size=max_batch_size,
+                coalesce_wait_seconds=coalesce_wait_seconds,
+            )
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._flights: dict[CacheKey, _Flight] = {}
+        self._flight_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        # The value network's layers stash per-call activations on themselves,
+        # so bare ``network.predict`` is not thread-safe.  With the bridge off
+        # and several workers, scoring serialises through this lock instead.
+        self._predict_lock = threading.Lock()
+        self._closed = False
+        self._reset_aggregates()
+
+    # ------------------------------------------------------------------ #
+    # Request API
+    # ------------------------------------------------------------------ #
+    def plan(self, query: Query) -> ServiceResponse:
+        """Plan one query synchronously on the calling thread."""
+        self._check_open()
+        return self._handle(query, time.perf_counter())
+
+    def submit(self, query: Query) -> Future[ServiceResponse]:
+        """Enqueue one query onto the worker pool.
+
+        With ``max_workers == 1`` the request is served on the calling thread
+        instead (same semantics, already-completed future) so single-worker
+        services never spawn threads that would outlive untidy callers.
+        """
+        self._check_open()
+        if self.max_workers == 1:
+            future: Future[ServiceResponse] = Future()
+            try:
+                future.set_result(self._handle(query, time.perf_counter()))
+            except BaseException as error:
+                future.set_exception(error)
+            return future
+        return self._pool().submit(self._handle, query, time.perf_counter())
+
+    def plan_many(self, queries: Iterable[Query]) -> list[ServiceResponse]:
+        """Plan several queries concurrently, preserving input order."""
+        futures = [self.submit(query) for query in queries]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> ServiceMetrics:
+        """Aggregate report over every request handled so far."""
+        with self._metrics_lock:
+            wall = 0.0
+            if self._window_start is not None and self._window_end is not None:
+                wall = max(self._window_end - self._window_start, 0.0)
+            report = ServiceMetrics(
+                requests=self._requests,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                coalesced_requests=self._coalesced,
+                total_queue_wait_seconds=self._total_queue_wait,
+                max_queue_wait_seconds=self._max_queue_wait,
+                total_planning_seconds=self._total_planning,
+                total_service_seconds=self._total_service,
+                wall_seconds=wall,
+            )
+        report.cache = self.cache.stats()
+        if self._bridge is not None:
+            report.scoring = self._bridge.stats()
+        return report
+
+    def request_log(self) -> list[RequestStats]:
+        """Per-request stats in completion order (capped at the most recent)."""
+        with self._metrics_lock:
+            return list(self._log)
+
+    def reset_metrics(self) -> None:
+        """Zero the aggregate counters and the throughput window."""
+        with self._metrics_lock:
+            self._reset_aggregates()
+
+    def _reset_aggregates(self) -> None:
+        self._requests = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._coalesced = 0
+        self._total_queue_wait = 0.0
+        self._max_queue_wait = 0.0
+        self._total_planning = 0.0
+        self._total_service = 0.0
+        self._window_start: float | None = None
+        self._window_end: float | None = None
+        self._log: deque[RequestStats] = deque(maxlen=100_000)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drain the worker pool and stop the scoring bridge."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self._bridge is not None:
+            self._bridge.close()
+
+    def __enter__(self) -> "PlannerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("planner service is closed")
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="planner-worker"
+                )
+            return self._executor
+
+    def _network(self) -> ValueNetwork:
+        network = self.network_provider()
+        if network is None:
+            raise RuntimeError("planner service has no value network yet")
+        return network
+
+    def _handle(self, query: Query, submitted_at: float) -> ServiceResponse:
+        started = time.perf_counter()
+        queue_wait = max(started - submitted_at, 0.0)
+        network = self._network()
+        key = (query.fingerprint(), network.version_key())
+
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            return self._finish(
+                query, cached, key, submitted_at, started,
+                cache_hit=True, coalesced=False, planning_seconds=0.0,
+                queue_wait=queue_wait,
+            )
+
+        flight, leader = self._join_flight(key)
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return self._finish(
+                query, flight.result, key, submitted_at, started,
+                cache_hit=False, coalesced=True, planning_seconds=0.0,
+                queue_wait=queue_wait,
+            )
+
+        try:
+            if self._bridge is not None:
+                score_fn = self._bridge.score
+            elif self.max_workers > 1:
+                score_fn = self._locked_predict
+            else:
+                score_fn = None
+            result = self.planner.plan(query, network, score_fn=score_fn)
+            self.cache.store(key, result)
+            flight.result = result
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            flight.done.set()
+            with self._flight_lock:
+                self._flights.pop(key, None)
+        return self._finish(
+            query, result, key, submitted_at, started,
+            cache_hit=False, coalesced=False,
+            planning_seconds=result.planning_seconds, queue_wait=queue_wait,
+        )
+
+    def _locked_predict(self, query: Query, plans: list[PlanNode]):
+        """Thread-safe direct scoring for concurrent searches without a bridge."""
+        with self._predict_lock:
+            return self._network().predict(query, plans)
+
+    def _join_flight(self, key: CacheKey) -> tuple[_Flight, bool]:
+        """Join (or lead) the in-flight search for ``key``."""
+        with self._flight_lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return flight, False
+            flight = _Flight()
+            self._flights[key] = flight
+            return flight, True
+
+    def _finish(
+        self,
+        query: Query,
+        result: PlannerResult,
+        key: CacheKey,
+        submitted_at: float,
+        started: float,
+        cache_hit: bool,
+        coalesced: bool,
+        planning_seconds: float,
+        queue_wait: float,
+    ) -> ServiceResponse:
+        completed = time.perf_counter()
+        stats = RequestStats(
+            query_name=query.name,
+            cache_hit=cache_hit,
+            coalesced=coalesced,
+            queue_wait_seconds=queue_wait,
+            planning_seconds=planning_seconds,
+            service_seconds=completed - submitted_at,
+            model_version=key[1],
+        )
+        with self._metrics_lock:
+            self._requests += 1
+            self._cache_hits += int(cache_hit)
+            self._cache_misses += int(not cache_hit and not coalesced)
+            self._coalesced += int(coalesced)
+            self._total_queue_wait += queue_wait
+            self._max_queue_wait = max(self._max_queue_wait, queue_wait)
+            self._total_planning += planning_seconds
+            self._total_service += stats.service_seconds
+            if self._window_start is None:
+                self._window_start = submitted_at
+            else:
+                self._window_start = min(self._window_start, submitted_at)
+            self._window_end = (
+                completed if self._window_end is None else max(self._window_end, completed)
+            )
+            self._log.append(stats)
+        return ServiceResponse(query=query, result=result, stats=stats)

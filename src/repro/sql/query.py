@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 import networkx as nx
 
@@ -59,13 +60,13 @@ class Query:
             if join.left_alias not in alias_set or join.right_alias not in alias_set:
                 raise ValueError(
                     f"query {self.name!r}: join {join.describe()} references an "
-                    f"alias not in the FROM list"
+                    "alias not in the FROM list"
                 )
         for flt in self.filters:
             if flt.alias not in alias_set:
                 raise ValueError(
                     f"query {self.name!r}: filter {flt.describe()} references an "
-                    f"alias not in the FROM list"
+                    "alias not in the FROM list"
                 )
 
     # ------------------------------------------------------------------ #
@@ -164,6 +165,22 @@ class Query:
             joins=joins,
             filters=filters,
         )
+
+    def fingerprint(self) -> str:
+        """A stable structural identity for the query.
+
+        Two queries with the same tables, join predicates and filters share a
+        fingerprint even if their :attr:`name` differs, so a plan cache keyed
+        on it serves repeated traffic regardless of how requests are labelled.
+        Tables, joins (in canonical orientation) and filters are sorted before
+        hashing, making the fingerprint insensitive to FROM-list order.
+        """
+        tables = sorted(f"{t.table} AS {t.alias}" for t in self.tables)
+        joins = sorted(j.normalized().describe() for j in self.joins)
+        filters = sorted(f.describe() for f in self.filters)
+        canonical = "|".join(["T:" + ";".join(tables), "J:" + ";".join(joins),
+                              "F:" + ";".join(filters)])
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """One-line human readable description."""

@@ -8,6 +8,7 @@ produce ready-to-use bundles at a configurable data scale and workload size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.agent.environment import BalsaEnvironment
 from repro.cardinality.base import CardinalityEstimator
@@ -29,6 +30,11 @@ from repro.storage.database import Database
 from repro.workloads.job import make_ext_job_queries, make_job_queries
 from repro.workloads.splits import random_split, slow_split, template_split, slowest_templates
 from repro.workloads.tpch import make_tpch_queries
+
+if TYPE_CHECKING:
+    from repro.model.value_network import ValueNetwork
+    from repro.search.beam import BeamSearchPlanner
+    from repro.service.service import PlannerService
 
 
 @dataclass
@@ -79,6 +85,28 @@ class WorkloadBenchmark:
     def all_queries(self) -> list[Query]:
         """Train + test queries."""
         return list(self.train_queries) + list(self.test_queries)
+
+    def planner_service(
+        self,
+        network: ValueNetwork,
+        planner: BeamSearchPlanner | None = None,
+        **service_kwargs,
+    ) -> PlannerService:
+        """A :class:`PlannerService` serving this benchmark's traffic.
+
+        Args:
+            network: Value network guiding the searches (e.g. a trained
+                agent's ``value_network``, or a fresh one for smoke tests).
+            planner: Optional custom beam-search planner.
+            **service_kwargs: Forwarded to :class:`PlannerService` (worker
+                count, cache capacity, coalescing knobs).
+
+        Returns:
+            A ready-to-serve planner service (close it when done).
+        """
+        from repro.service.service import PlannerService
+
+        return PlannerService(network, planner=planner, **service_kwargs)
 
     # ------------------------------------------------------------------ #
     # Expert baselines

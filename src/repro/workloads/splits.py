@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-import numpy as np
 
 from repro.sql.query import Query, QuerySet
 from repro.utils.rng import new_rng

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cardinality.estimator import HistogramEstimator
 from repro.cardinality.noise import NoisyEstimator
 from repro.cardinality.true_cards import TrueCardinalityEstimator
 from repro.costmodel.cmm import CmmCostModel

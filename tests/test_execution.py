@@ -12,7 +12,7 @@ from repro.execution.plan_cache import PlanCache
 from repro.execution.result import estimate_match_count, match_keys
 from repro.optimizer.quickpick import random_plan
 from repro.plans.builders import join, left_deep_plan, scan
-from repro.plans.nodes import JoinOperator, ScanOperator
+from repro.plans.nodes import JoinOperator
 from repro.plans.validation import InvalidPlanError
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.plans.analysis import PlanShape, operator_composition, plan_shape
 from repro.plans.builders import join, left_deep_plan, scan
-from repro.plans.nodes import JoinNode, JoinOperator, ScanNode, ScanOperator
+from repro.plans.nodes import JoinOperator, ScanNode, ScanOperator
 from repro.plans.validation import InvalidPlanError, is_valid_plan, validate_plan
 
 

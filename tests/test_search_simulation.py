@@ -3,7 +3,6 @@
 import pytest
 
 from repro.costmodel.cout import CoutCostModel
-from repro.featurization.featurizer import QueryPlanFeaturizer
 from repro.model.value_network import ValueNetwork, ValueNetworkConfig
 from repro.plans.validation import validate_plan
 from repro.search.beam import BeamSearchPlanner
@@ -12,7 +11,6 @@ from repro.plans.builders import join, scan
 from repro.simulation.augment import augment_data_point
 from repro.simulation.collect import collect_simulation_data
 from repro.simulation.trainer import train_simulation_model
-from repro.sql.query import QuerySet
 
 
 SMALL_CONFIG = ValueNetworkConfig(

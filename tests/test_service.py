@@ -1,0 +1,299 @@
+"""Tests for the planner service: cache, coalescing, concurrency, metrics."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.agent.balsa import BalsaAgent
+from repro.agent.config import BalsaConfig
+from repro.model.trainer import ValueNetworkTrainer
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.plans.validation import validate_plan
+from repro.search.beam import BeamSearchPlanner
+from repro.service.batching import BatchedScoringBridge
+from repro.service.cache import ServicePlanCache
+from repro.service.service import PlannerService
+from repro.sql.query import Query
+from repro.workloads.benchmark import make_job_benchmark
+
+
+def small_network(featurizer, seed: int = 0) -> ValueNetwork:
+    return ValueNetwork(
+        featurizer,
+        ValueNetworkConfig(
+            query_hidden=16, query_embedding=8, tree_channels=(16, 8), head_hidden=8,
+            seed=seed,
+        ),
+    )
+
+
+def small_planner() -> BeamSearchPlanner:
+    return BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=False)
+
+
+@pytest.fixture(scope="module")
+def service_benchmark():
+    return make_job_benchmark(
+        fact_rows=300, num_queries=10, num_templates=4, test_size=3,
+        seed=0, size_range=(3, 5),
+    )
+
+
+@pytest.fixture(scope="module")
+def service_queries(service_benchmark):
+    return list(service_benchmark.train_queries)
+
+
+@pytest.fixture()
+def network(service_benchmark):
+    return small_network(service_benchmark.featurizer)
+
+
+class TestQueryFingerprint:
+    def test_stable_and_name_insensitive(self, service_queries):
+        query = service_queries[0]
+        renamed = Query(
+            name="renamed", tables=query.tables, joins=query.joins, filters=query.filters
+        )
+        assert query.fingerprint() == renamed.fingerprint()
+
+    def test_from_list_order_insensitive(self, service_queries):
+        query = service_queries[0]
+        reordered = Query(
+            name=query.name,
+            tables=tuple(reversed(query.tables)),
+            joins=tuple(reversed(query.joins)),
+            filters=tuple(reversed(query.filters)),
+        )
+        assert query.fingerprint() == reordered.fingerprint()
+
+    def test_distinct_queries_distinct_fingerprints(self, service_queries):
+        fingerprints = {q.fingerprint() for q in service_queries}
+        assert len(fingerprints) == len(service_queries)
+
+
+class TestServicePlanCache:
+    def test_lru_eviction(self):
+        cache = ServicePlanCache(capacity=2)
+        cache.store(("a", 0), "ra")
+        cache.store(("b", 0), "rb")
+        assert cache.lookup(("a", 0)) == "ra"  # refresh a's recency
+        cache.store(("c", 0), "rc")  # evicts b
+        assert cache.lookup(("b", 0)) is None
+        assert cache.lookup(("a", 0)) == "ra"
+        assert cache.lookup(("c", 0)) == "rc"
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.size == 2
+
+    def test_zero_capacity_disables(self):
+        cache = ServicePlanCache(capacity=0)
+        cache.store(("a", 0), "ra")
+        assert cache.lookup(("a", 0)) is None
+        assert len(cache) == 0
+
+
+class TestCacheAcrossModelVersions:
+    def test_hit_then_invalidated_by_version_bump(self, service_queries, network):
+        with PlannerService(network, planner=small_planner(), max_workers=1) as service:
+            first = service.plan(service_queries[0])
+            second = service.plan(service_queries[0])
+            assert not first.cache_hit
+            assert second.cache_hit
+            assert second.best_plan.fingerprint() == first.best_plan.fingerprint()
+
+            network.bump_version()
+            third = service.plan(service_queries[0])
+            assert not third.cache_hit
+
+    def test_set_state_and_training_bump_version(self, service_benchmark, network):
+        featurizer = service_benchmark.featurizer
+        before = network.version_key()
+        network.set_state(network.get_state())
+        after_load = network.version_key()
+        assert after_load != before
+
+        queries = list(service_benchmark.train_queries)[:2]
+        planner = small_planner()
+        examples, labels = [], []
+        for query in queries:
+            result = planner.plan(query, network)
+            examples.append(featurizer.featurize(query, result.best_plan))
+            labels.append(1.0)
+        trainer = ValueNetworkTrainer(network, max_epochs=1, validation_fraction=0.0)
+        trainer.fit(examples, labels)
+        assert network.version_key() != after_load
+
+    def test_renamed_query_hits_cache(self, service_queries, network):
+        with PlannerService(network, planner=small_planner(), max_workers=1) as service:
+            query = service_queries[0]
+            service.plan(query)
+            renamed = Query(
+                name="other-name", tables=query.tables, joins=query.joins,
+                filters=query.filters,
+            )
+            assert service.plan(renamed).cache_hit
+
+    def test_separate_networks_do_not_share_entries(self, service_benchmark, service_queries):
+        net_a = small_network(service_benchmark.featurizer, seed=0)
+        net_b = small_network(service_benchmark.featurizer, seed=0)
+        holder = {"net": net_a}
+        with PlannerService(
+            network_provider=lambda: holder["net"], planner=small_planner(), max_workers=1
+        ) as service:
+            service.plan(service_queries[0])
+            holder["net"] = net_b
+            assert not service.plan(service_queries[0]).cache_hit
+
+
+class TestConcurrentPlanning:
+    def test_concurrent_matches_serial(self, service_queries, network):
+        planner = small_planner()
+        serial = [planner.plan(query, network) for query in service_queries]
+        with PlannerService(
+            network, planner=small_planner(), max_workers=4, coalesce_scoring=True
+        ) as service:
+            concurrent = service.plan_many(service_queries)
+        for direct, response in zip(serial, concurrent):
+            assert not response.cache_hit
+            assert response.best_plan.fingerprint() == direct.best_plan.fingerprint()
+            assert [p.fingerprint() for p in response.result.plans] == [
+                p.fingerprint() for p in direct.plans
+            ]
+
+    def test_plans_are_valid(self, service_queries, network):
+        with PlannerService(network, planner=small_planner(), max_workers=4) as service:
+            for response in service.plan_many(service_queries):
+                validate_plan(response.query, response.best_plan)
+
+    def test_single_flight_deduplicates(self, service_queries, network):
+        class SlowPlanner(BeamSearchPlanner):
+            def plan(self, query, net, score_fn=None):
+                result = super().plan(query, net, score_fn=score_fn)
+                time.sleep(0.05)
+                return result
+
+        planner = SlowPlanner(beam_size=3, top_k=2, enumerate_scan_operators=False)
+        query = service_queries[0]
+        with PlannerService(
+            network, planner=planner, max_workers=4, coalesce_scoring=False
+        ) as service:
+            responses = [f.result() for f in [service.submit(query) for _ in range(8)]]
+        fingerprints = {r.best_plan.fingerprint() for r in responses}
+        assert len(fingerprints) == 1
+        metrics = service.metrics()
+        assert metrics.cache_misses == 1
+        assert metrics.cache_hits + metrics.coalesced_requests == 7
+
+    def test_scoring_bridge_matches_direct_predictions(self, service_queries, network):
+        bridge = BatchedScoringBridge(lambda: network, coalesce_wait_seconds=0.0)
+        try:
+            query = service_queries[0]
+            planner = small_planner()
+            direct = planner.plan(query, network)
+            bridged = planner.plan(query, network, score_fn=bridge.score)
+            np.testing.assert_array_equal(
+                np.asarray(direct.predicted_latencies),
+                np.asarray(bridged.predicted_latencies),
+            )
+            assert bridge.stats().requests > 0
+        finally:
+            bridge.close()
+
+
+class TestServiceMetrics:
+    def test_accounting(self, service_queries, network):
+        with PlannerService(network, planner=small_planner(), max_workers=2) as service:
+            service.plan_many(service_queries)
+            service.plan_many(service_queries)
+            metrics = service.metrics()
+
+        assert metrics.requests == 2 * len(service_queries)
+        assert metrics.cache_hits == len(service_queries)
+        assert metrics.cache_misses == len(service_queries)
+        assert metrics.coalesced_requests == 0
+        assert metrics.hit_rate == pytest.approx(0.5)
+        assert metrics.total_planning_seconds > 0
+        assert metrics.mean_planning_seconds > 0
+        assert metrics.wall_seconds > 0
+        assert metrics.queries_per_second > 0
+        assert metrics.max_queue_wait_seconds >= metrics.mean_queue_wait_seconds >= 0
+        assert metrics.cache.hits == len(service_queries)
+        assert metrics.cache.size == len(service_queries)
+
+        log = service.request_log()
+        assert len(log) == metrics.requests
+        assert sum(entry.cache_hit for entry in log) == metrics.cache_hits
+        assert all(entry.service_seconds >= entry.planning_seconds for entry in log)
+
+        as_dict = metrics.as_dict()
+        assert as_dict["requests"] == metrics.requests
+        assert "queries_per_second" in as_dict
+        assert metrics.format_report()
+
+    def test_reset_metrics(self, service_queries, network):
+        with PlannerService(network, planner=small_planner(), max_workers=1) as service:
+            service.plan(service_queries[0])
+            service.reset_metrics()
+            metrics = service.metrics()
+            assert metrics.requests == 0
+            assert metrics.wall_seconds == 0.0
+
+    def test_closed_service_rejects_requests(self, service_queries, network):
+        service = PlannerService(network, planner=small_planner(), max_workers=1)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.plan(service_queries[0])
+
+
+class TestAgentThroughService:
+    def test_agent_concurrent_planning_matches_serial(self, service_benchmark):
+        def run(workers: int):
+            config = BalsaConfig(
+                seed=0,
+                num_iterations=1,
+                beam_size=3,
+                top_k=2,
+                enumerate_scan_operators=False,
+                sim_max_points_per_query=200,
+                sim_max_epochs=3,
+                update_epochs=2,
+                eval_interval=0,
+                planner_workers=workers,
+                coalesce_scoring=False,
+                network=ValueNetworkConfig(
+                    query_hidden=16, query_embedding=8, tree_channels=(16, 8),
+                    head_hidden=8, seed=0,
+                ),
+            )
+            agent = BalsaAgent(service_benchmark.environment(), config)
+            agent.train(1)
+            plans = sorted(
+                (record.query_name, record.plan.fingerprint())
+                for record in agent.experience.records
+            )
+            agent.close()
+            return plans
+
+        assert run(1) == run(4)
+
+    def test_agent_service_caches_repeated_evaluations(self, service_benchmark):
+        config = BalsaConfig(
+            seed=0, num_iterations=0, beam_size=3, top_k=2,
+            enumerate_scan_operators=False, use_simulation=False,
+            eval_interval=0, planner_workers=2,
+        )
+        agent = BalsaAgent(service_benchmark.environment(), config)
+        agent.bootstrap_from_simulation()
+        queries = list(service_benchmark.test_queries)
+        first = agent.evaluate(queries)
+        second = agent.evaluate(queries)
+        assert {n: p.fingerprint() for n, (p, _) in first.items()} == {
+            n: p.fingerprint() for n, (p, _) in second.items()
+        }
+        metrics = agent.planner_service.metrics()
+        assert metrics.cache_hits >= len(queries)
+        agent.close()
