@@ -1,9 +1,10 @@
-"""Compare optimizers on one workload: experts, Bao, Neo-impl, Balsa, random.
+"""Compare every registered planner on one workload through one harness.
 
 Reproduces the qualitative comparison behind Figure 6 / Figure 15 / Table 3 of
-the paper on a small JOB-like benchmark: every optimizer plans the same
-queries, the plans run on the same simulated engine, and workload runtimes are
-reported side by side.
+the paper on a small JOB-like benchmark — experts, Bao, Neo-impl, Balsa and
+the random baselines — but through the unified planning API: the trained
+agents and the classical optimizers are registered under string names, and a
+single loop sends the same ``PlanRequest`` envelope to each of them.
 
 Run with::
 
@@ -13,7 +14,7 @@ Run with::
 from __future__ import annotations
 
 from repro import BalsaAgent, BalsaConfig, BaoAgent, NeoAgent, make_job_benchmark
-from repro.baselines.random_agent import RandomPlanAgent
+from repro.evaluation.experiments import run_planner_comparison
 from repro.evaluation.reporting import format_table
 
 
@@ -23,48 +24,42 @@ def main() -> None:
         size_range=(4, 7), seed=1,
     )
     expert_runtimes = benchmark.expert_runtimes()
-    train, test = benchmark.train_queries, benchmark.test_queries
 
-    def workload(latencies: dict[str, float], queries) -> float:
-        return sum(latencies[q.name] for q in queries)
-
-    rows = []
-
-    # Expert optimizers (PostgreSQL-like bushy search, CommDB-like left-deep).
-    for expert in ("postgres", "commdb"):
-        runtimes = benchmark.expert_runtimes(expert=expert)
-        rows.append([expert, workload(runtimes, train), workload(runtimes, test)])
-
-    # Random plans (the §3 motivation baseline), capped to avoid stalls.
-    random_agent = RandomPlanAgent(benchmark.environment(), seed=0)
-    cap = 50 * workload(expert_runtimes, train)
-    rows.append([
-        "random plans",
-        random_agent.workload_runtime(train, timeout=cap),
-        random_agent.workload_runtime(test, timeout=cap),
-    ])
-
-    # Bao: steer the expert with hint sets.
+    # Train the learned planners first; the registry then serves them next to
+    # the classical ones under the same names-to-planners mapping.
     bao = BaoAgent(benchmark.environment(), benchmark.expert("postgres"), seed=0)
     bao.train(num_iterations=6)
-    rows.append(["bao", bao.workload_runtime(train), bao.workload_runtime(test)])
 
-    # Neo-impl: learn from expert demonstrations, retrain every iteration.
     config = BalsaConfig.small(seed=0, num_iterations=8)
     neo = NeoAgent(benchmark.environment(), benchmark.expert("postgres"), config,
                    expert_runtimes=expert_runtimes)
     neo.train()
-    rows.append(["neo-impl", neo.workload_runtime(train), neo.workload_runtime(test)])
 
-    # Balsa: no expert demonstrations at all.
     balsa = BalsaAgent(benchmark.environment(), BalsaConfig.small(seed=0, num_iterations=12),
                        expert_runtimes=expert_runtimes)
     balsa.train()
-    rows.append(["balsa", balsa.workload_runtime(train), balsa.workload_runtime(test)])
+
+    # One registry, nine planners: "beam" is Balsa's trained value network
+    # searched with the agent's own beam settings, "bao"/"neo" the trained
+    # agents, the rest the classical baselines.
+    registry = benchmark.planner_registry(
+        network=balsa.value_network, bao=bao, neo=neo, seed=0,
+        beam_planner=balsa.planner,
+    )
+
+    # One harness for every planner: each registry name answers the same
+    # envelope, every chosen plan runs on the same simulated engine (the
+    # engine charges disastrous plans pessimistically, so no cap is needed).
+    result = run_planner_comparison(benchmark=benchmark, registry=registry)
 
     print(format_table(
-        ["optimizer", "train workload runtime (s)", "test workload runtime (s)"],
-        rows,
+        ["planner", "train workload runtime (s)", "test workload runtime (s)",
+         "mean planning (ms)"],
+        [
+            [row["planner"], row["train_runtime"], row["test_runtime"],
+             f"{row['mean_planning_ms']:.1f}"]
+            for row in result["rows"]
+        ],
         title="Workload runtimes on the simulated engine (lower is better)",
     ))
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro import BalsaAgent, BalsaConfig, make_job_benchmark
 from repro.evaluation.metrics import speedup
+from repro.planning import PlanRequest
 
 
 def main() -> None:
@@ -64,11 +65,16 @@ def main() -> None:
     print(f"\nBalsa train speedup over expert: {speedup(train_latencies, expert_runtimes):.2f}x")
     print(f"Balsa test  speedup over expert: {speedup(test_latencies, expert_runtimes):.2f}x")
 
-    # 5. Inspect one learned plan.
+    # 5. Inspect one learned plan through the uniform planning envelope: any
+    #    planner (and the agent's serving layer) answers a PlanRequest with a
+    #    PlanResult carrying plans, predictions, timings and search stats.
     query = benchmark.test_queries[0]
-    plan = agent.plan_query(query)
-    print(f"\nLearned plan for {query.name}:")
-    print(plan.describe())
+    result = agent.plan(PlanRequest(query=query, k=3))
+    print(f"\nLearned plans for {query.name} "
+          f"(planner={result.planner_name!r}, {len(result.plans)} plans, "
+          f"{result.planning_seconds * 1e3:.1f}ms, "
+          f"{result.states_expanded} states expanded):")
+    print(result.best_plan.describe())
 
 
 if __name__ == "__main__":

@@ -16,16 +16,30 @@ The most convenient entry points are re-exported here.
 __version__ = "0.1.0"
 
 from repro.api import (
+    AdmissionError,
     BalsaAgent,
     BalsaConfig,
+    BaoAgent,
+    NeoAgent,
+    PlannerService,
+    PlanRequest,
+    PlanResult,
     make_job_benchmark,
     make_tpch_benchmark,
+    registry_from_benchmark,
 )
 
 __all__ = [
     "__version__",
+    "AdmissionError",
     "BalsaAgent",
     "BalsaConfig",
+    "BaoAgent",
+    "NeoAgent",
+    "PlannerService",
+    "PlanRequest",
+    "PlanResult",
     "make_job_benchmark",
     "make_tpch_benchmark",
+    "registry_from_benchmark",
 ]

@@ -37,6 +37,7 @@ from repro.costmodel.expert import ExpertCostModel
 from repro.execution.cluster import ExecutionCluster
 from repro.model.trainer import ValueNetworkTrainer
 from repro.model.value_network import ValueNetwork
+from repro.planning.envelope import PlanRequest, PlanResult
 from repro.plans.analysis import operator_composition
 from repro.plans.nodes import PlanNode
 from repro.search.beam import BeamSearchPlanner
@@ -59,6 +60,8 @@ class BalsaAgent:
         agent_id: Identifier recorded on collected experience (used by
             diversified experiences).
     """
+
+    name = "balsa"
 
     def __init__(
         self,
@@ -174,15 +177,16 @@ class BalsaAgent:
         num_timeouts = 0
 
         # Plan the whole iteration's queries through the service (cache +
-        # optional concurrency); execution and exploration stay serial so
-        # seeded runs remain reproducible.
-        responses = self.planner_service.plan_many(self.environment.train_queries)
+        # optional concurrency) using the uniform request envelope; execution
+        # and exploration stay serial so seeded runs remain reproducible.
+        responses = self.planner_service.plan_many(
+            self._plan_request(query) for query in self.environment.train_queries
+        )
         for query, response in zip(self.environment.train_queries, responses):
-            planner_result = response.result
             # Cache hits cost (almost) no planning time; charge the measured
             # per-request planning cost, not the memoised search's.
             planning_times.append(response.stats.planning_seconds)
-            plan = self.exploration.choose(query, planner_result, self.experience)
+            plan = self.exploration.choose(query, response, self.experience)
             chosen.append((query, plan))
 
             result, was_cached = self.environment.execute(query, plan, timeout=timeout)
@@ -278,11 +282,25 @@ class BalsaAgent:
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
+    def _plan_request(self, query: Query, k: int | None = None) -> PlanRequest:
+        """The agent's standard planning envelope for one query."""
+        return PlanRequest(query=query, k=k if k is not None else self.config.top_k)
+
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Serve one :class:`PlanRequest` (the :class:`Planner` protocol entry).
+
+        Routed through the agent's planner service, so repeated requests under
+        unchanged weights hit the plan cache.
+        """
+        if self.value_network is None:
+            raise RuntimeError("agent has not been trained or bootstrapped yet")
+        return self.planner_service.plan(request)
+
     def plan_query(self, query: Query) -> PlanNode:
         """Plan a query for deployment: the predicted-best plan (no exploration)."""
         if self.value_network is None:
             raise RuntimeError("agent has not been trained or bootstrapped yet")
-        return self.planner_service.plan(query).best_plan
+        return self.planner_service.plan(self._plan_request(query)).best_plan
 
     def evaluate(
         self, queries, timeout: float | None = None
@@ -301,7 +319,9 @@ class BalsaAgent:
             raise RuntimeError("agent has not been trained or bootstrapped yet")
         budget = timeout if timeout is not None else self.config.test_timeout
         query_list = list(queries)
-        responses = self.planner_service.plan_many(query_list)
+        responses = self.planner_service.plan_many(
+            self._plan_request(query) for query in query_list
+        )
         results: dict[str, tuple[PlanNode, float]] = {}
         for query, response in zip(query_list, responses):
             plan = response.best_plan

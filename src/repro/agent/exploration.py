@@ -17,8 +17,8 @@ import abc
 
 from repro.agent.experience import ExperienceBuffer
 from repro.optimizer.quickpick import random_plan
+from repro.planning.envelope import PlanResult as PlannerResult
 from repro.plans.nodes import PlanNode
-from repro.search.beam import PlannerResult
 from repro.sql.query import Query
 from repro.utils.rng import new_rng
 

@@ -12,6 +12,13 @@ Typical usage::
     )
     agent.train()
     print(agent.workload_runtime(benchmark.test_queries))
+
+Planning API (one protocol, one envelope, a registry)::
+
+    from repro.api import PlanRequest, registry_from_benchmark
+
+    registry = registry_from_benchmark(benchmark, network=agent.value_network)
+    result = registry.get("postgres").plan(PlanRequest(query=q, k=3))
 """
 
 from repro.agent.balsa import BalsaAgent
@@ -21,6 +28,22 @@ from repro.baselines.bao import BaoAgent
 from repro.baselines.neo import NeoAgent
 from repro.diversity.merge import merge_agent_experiences, retrain_from_experience
 from repro.evaluation.experiments import ExperimentScale
+from repro.planning.adapters import (
+    AgentPlanner,
+    BeamPlanner,
+    RandomPlanner,
+    registry_from_benchmark,
+)
+from repro.planning.envelope import (
+    AdmissionError,
+    PlanningError,
+    PlanRequest,
+    PlanResult,
+    UnknownPlannerError,
+)
+from repro.planning.protocol import Planner, planner_version
+from repro.planning.registry import PlannerRegistry
+from repro.search.beam import BeamSearchPlanner
 from repro.service.metrics import ServiceMetrics
 from repro.service.service import PlannerService, ServiceResponse
 from repro.workloads.benchmark import (
@@ -30,18 +53,31 @@ from repro.workloads.benchmark import (
 )
 
 __all__ = [
+    "AdmissionError",
+    "AgentPlanner",
     "BalsaAgent",
     "BalsaConfig",
     "BalsaEnvironment",
     "BaoAgent",
+    "BeamPlanner",
+    "BeamSearchPlanner",
+    "ExperimentScale",
     "NeoAgent",
+    "Planner",
+    "PlannerRegistry",
     "PlannerService",
+    "PlanningError",
+    "PlanRequest",
+    "PlanResult",
+    "RandomPlanner",
     "ServiceMetrics",
     "ServiceResponse",
-    "merge_agent_experiences",
-    "retrain_from_experience",
-    "ExperimentScale",
+    "UnknownPlannerError",
     "WorkloadBenchmark",
     "make_job_benchmark",
     "make_tpch_benchmark",
+    "merge_agent_experiences",
+    "planner_version",
+    "registry_from_benchmark",
+    "retrain_from_experience",
 ]

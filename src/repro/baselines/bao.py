@@ -22,6 +22,9 @@ produces the plans).
 
 from __future__ import annotations
 
+import itertools
+import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +33,7 @@ from repro.agent.environment import BalsaEnvironment
 from repro.execution.hints import STANDARD_HINT_SETS, HintSet
 from repro.featurization.query_encoder import QueryEncoder
 from repro.optimizer.expert import ExpertOptimizer
+from repro.planning.envelope import PlanRequest, PlanResult
 from repro.plans.nodes import PlanNode
 from repro.sql.query import Query
 from repro.utils.rng import new_rng
@@ -55,6 +59,11 @@ class BaoHistory:
 class BaoAgent:
     """The Bao baseline.
 
+    Implements the :class:`~repro.planning.protocol.Planner` protocol: a
+    :class:`PlanRequest` picks an arm (honouring ``knobs["explore"]``) and
+    returns the steered expert's plan, with the chosen arm recorded in
+    ``result.extra``.
+
     Args:
         environment: Workload environment.
         expert: The expert optimizer Bao steers.
@@ -63,6 +72,10 @@ class BaoAgent:
         ridge_lambda: Ridge regularisation of the latency model.
         seed: RNG seed.
     """
+
+    name = "bao"
+
+    _uid_counter = itertools.count()
 
     def __init__(
         self,
@@ -83,6 +96,8 @@ class BaoAgent:
         self.observations: list[BaoObservation] = []
         self.history = BaoHistory()
         self._weights: np.ndarray | None = None
+        self._uid = next(BaoAgent._uid_counter)
+        self._model_version = 0
         self._experts_by_arm = {
             i: expert.with_hint_set(hint_set) for i, hint_set in enumerate(self.hint_sets)
         }
@@ -103,6 +118,7 @@ class BaoAgent:
 
     def _refit_model(self) -> None:
         """Ridge regression of log latency on (query, arm) features."""
+        self._model_version += 1
         if not self.observations:
             self._weights = None
             return
@@ -130,16 +146,59 @@ class BaoAgent:
         """Pick the arm with the lowest predicted latency (ε-greedy in training)."""
         if explore and self._rng.random() < self.epsilon:
             return int(self._rng.integers(len(self.hint_sets)))
+        return self._best_arm(query)[0]
+
+    def _best_arm(self, query: Query) -> tuple[int, float]:
+        """The greedily chosen arm and its predicted latency (one model pass)."""
         predictions = [
             self.predict_latency(query, arm) for arm in range(len(self.hint_sets))
         ]
-        return int(np.argmin(predictions))
+        best = int(np.argmin(predictions))
+        return best, predictions[best]
+
+    def version_key(self) -> tuple:
+        """Identity of this agent's current latency model (a cache key).
+
+        Bumped on every model refit so serving caches never return an arm the
+        retrained model would no longer choose.
+        """
+        return (self.name, self._uid, self._model_version)
+
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Choose an arm and return the steered expert's plan for the request.
+
+        ``request.knobs["explore"]`` (default False) enables the ε-greedy arm
+        exploration used during training; the chosen arm index and hint-set
+        name are reported in ``result.extra``.
+        """
+        started = time.perf_counter()
+        explore = bool(request.knobs.get("explore", False))
+        if explore and self._rng.random() < self.epsilon:
+            arm = int(self._rng.integers(len(self.hint_sets)))
+            predicted = self.predict_latency(request.query, arm)
+        else:
+            arm, predicted = self._best_arm(request.query)
+        plan, _ = self._experts_by_arm[arm].optimize_with_cost(request.query)
+        return PlanResult(
+            plans=[plan],
+            predicted_latencies=[predicted],
+            planning_seconds=time.perf_counter() - started,
+            planner_name=self.name,
+            # ε-greedy arm draws are stochastic; a cache must not replay them.
+            cacheable=not explore,
+            extra={"arm_index": arm, "hint_set": self.hint_sets[arm].name},
+        )
 
     def plan_query(self, query: Query, explore: bool = False) -> tuple[PlanNode, int]:
-        """The expert's plan for ``query`` under the chosen arm."""
-        arm = self.choose_arm(query, explore=explore)
-        plan = self._experts_by_arm[arm].optimize(query)
-        return plan, arm
+        """Deprecated: the expert's plan for ``query`` under the chosen arm."""
+        warnings.warn(
+            "BaoAgent.plan_query() is deprecated; use plan(PlanRequest(query, "
+            "knobs={'explore': ...}))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.plan(PlanRequest(query=query, knobs={"explore": explore}))
+        return result.best_plan, result.extra["arm_index"]
 
     # ------------------------------------------------------------------ #
     # Training
@@ -147,7 +206,7 @@ class BaoAgent:
     def bootstrap(self) -> None:
         """Seed the experience with the unrestricted expert's plans (arm 0)."""
         for query in self.environment.train_queries:
-            plan = self._experts_by_arm[0].optimize(query)
+            plan, _ = self._experts_by_arm[0].optimize_with_cost(query)
             result, _ = self.environment.execute(query, plan)
             self.observations.append(BaoObservation(query.name, 0, result.latency))
         self._refit_model()
@@ -159,8 +218,9 @@ class BaoAgent:
         for _ in range(num_iterations):
             runtime = 0.0
             for query in self.environment.train_queries:
-                plan, arm = self.plan_query(query, explore=True)
-                result, _ = self.environment.execute(query, plan)
+                planned = self.plan(PlanRequest(query=query, knobs={"explore": True}))
+                arm = planned.extra["arm_index"]
+                result, _ = self.environment.execute(query, planned.best_plan)
                 runtime += result.latency
                 self.observations.append(BaoObservation(query.name, arm, result.latency))
             self._refit_model()
@@ -177,7 +237,7 @@ class BaoAgent:
         """Execute the greedily chosen arm's plan for each query; sum latencies."""
         total = 0.0
         for query in queries:
-            plan, _ = self.plan_query(query, explore=False)
-            result, _ = self.environment.execute(query, plan)
+            planned = self.plan(PlanRequest(query=query))
+            result, _ = self.environment.execute(query, planned.best_plan)
             total += result.latency
         return total

@@ -54,6 +54,8 @@ class NeoAgent(BalsaAgent):
         agent_id: Identifier recorded on experience.
     """
 
+    name = "neo"
+
     def __init__(
         self,
         environment: BalsaEnvironment,
@@ -83,7 +85,7 @@ class NeoAgent(BalsaAgent):
         started = time.perf_counter()
         latencies = []
         for query in self.environment.train_queries:
-            plan = self.expert.optimize(query)
+            plan, _ = self.expert.optimize_with_cost(query)
             result, _ = self.environment.execute(query, plan, timeout=None)
             latencies.append(result.latency)
             self.experience.add(

@@ -41,6 +41,7 @@ from repro.evaluation.metrics import (
     speedup,
     workload_runtime,
 )
+from repro.planning.envelope import PlanRequest
 from repro.plans.analysis import JoinOperator, PlanShape
 from repro.search.beam import BeamSearchPlanner
 from repro.simulation.collect import collect_simulation_data
@@ -218,6 +219,66 @@ def _history_curves(history: TrainingHistory) -> dict[str, list[float]]:
         ],
         "num_timeouts": [float(m.num_timeouts) for m in history.iterations],
     }
+
+
+# ---------------------------------------------------------------------- #
+# Unified-harness comparison: any registered planner, one loop
+# ---------------------------------------------------------------------- #
+def run_planner_comparison(
+    scale: ExperimentScale | None = None,
+    benchmark: WorkloadBenchmark | None = None,
+    names: Sequence[str] | None = None,
+    k: int = 1,
+    registry=None,
+) -> dict:
+    """Compare registered planners under one harness.
+
+    Every named planner answers the same :class:`PlanRequest` envelopes; the
+    predicted-best plans run on the same simulated engine.  Executions run
+    *without* a latency cap: the engine charges disastrous plans a pessimistic
+    latency proportional to the exploded intermediate (a fixed cap would
+    instead charge every guard-tripping query the identical full cap, erasing
+    the differences this comparison exists to show).  Guard trips are counted
+    per planner in ``timeouts``.  Pass a pre-built ``registry`` (e.g. one
+    wired to trained agents) to control what each name resolves to; otherwise
+    a fresh benchmark registry is used (untrained ``beam``/``bao``/``neo``).
+
+    Returns:
+        ``{"rows": [{"planner", "train_runtime", "test_runtime",
+        "mean_planning_ms", "timeouts"}, ...]}``
+    """
+    scale = scale or ExperimentScale.tiny()
+    benchmark = benchmark or scale.benchmark("job")
+    registry = registry or benchmark.planner_registry(seed=0)
+    names = list(names) if names is not None else registry.available()
+    engine = benchmark.engine
+
+    rows = []
+    for name in names:
+        planner = registry.get(name)
+        planning_times: list[float] = []
+        runtimes = {"train": 0.0, "test": 0.0}
+        timeouts = 0
+        for split, queries in (
+            ("train", benchmark.train_queries),
+            ("test", benchmark.test_queries),
+        ):
+            for query in queries:
+                result = planner.plan(PlanRequest(query=query, k=k))
+                planning_times.append(result.planning_seconds)
+                execution = engine.execute(query, result.best_plan)
+                runtimes[split] += execution.latency
+                timeouts += int(execution.timed_out)
+        rows.append(
+            {
+                "planner": name,
+                "train_runtime": runtimes["train"],
+                "test_runtime": runtimes["test"],
+                "mean_planning_ms": 1000.0 * float(np.mean(planning_times)),
+                "timeouts": timeouts,
+            }
+        )
+    return {"rows": rows}
 
 
 # ---------------------------------------------------------------------- #
@@ -558,7 +619,7 @@ def run_figure14_planning_time(
             planning_times = []
             latencies = {}
             for query in benchmark.test_queries:
-                result = planner.plan(query, agent.value_network)
+                result = planner.search(query, agent.value_network)
                 planning_times.append(result.planning_seconds)
                 execution, _ = agent.environment.execute(
                     query, result.best_plan, timeout=agent.config.test_timeout

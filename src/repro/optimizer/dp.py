@@ -7,10 +7,12 @@ alias subset) and Balsa's simulation data collection (§3.2), which records
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.costmodel.base import CostModel
 from repro.execution.hints import HintSet
+from repro.planning.envelope import PlanRequest, PlanResult
 from repro.plans.builders import scan
 from repro.plans.nodes import JoinNode, JoinOperator, PlanNode, ScanOperator
 from repro.sql.query import Query
@@ -64,6 +66,8 @@ class DynamicProgrammingOptimizer:
             model ignores (paper footnote 4).
     """
 
+    name = "dp"
+
     def __init__(
         self,
         cost_model: CostModel,
@@ -79,6 +83,27 @@ class DynamicProgrammingOptimizer:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Plan ``request.query`` with exhaustive DP (the :class:`Planner` entry).
+
+        DP keeps only the cheapest plan per alias subset, so the result holds
+        exactly one plan regardless of ``request.k``; ``plans_scored`` reports
+        the number of candidates the enumeration considered.
+        """
+        started = time.perf_counter()
+        result = self.optimize(request.query)
+        if result.best_plan is None:
+            raise ValueError(
+                f"query {request.query.name!r}: DP found no complete plan"
+            )
+        return PlanResult(
+            plans=[result.best_plan],
+            predicted_latencies=[result.best_cost],
+            planning_seconds=time.perf_counter() - started,
+            plans_scored=result.num_candidates,
+            planner_name=self.name,
+        )
+
     def optimize(self, query: Query, collect_all: bool = False) -> DpResult:
         """Run DP on ``query``.
 

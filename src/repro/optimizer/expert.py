@@ -12,6 +12,7 @@ commercial system's hintable space to be ~1000x smaller).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.cardinality.base import CardinalityEstimator
@@ -21,6 +22,7 @@ from repro.costmodel.expert import ExpertCostModel
 from repro.execution.hints import HintSet
 from repro.optimizer.dp import DynamicProgrammingOptimizer
 from repro.optimizer.greedy import GreedyOptimizer
+from repro.planning.envelope import PlanRequest, PlanResult
 from repro.plans.nodes import PlanNode
 from repro.sql.query import Query
 from repro.storage.database import Database
@@ -66,8 +68,29 @@ class ExpertOptimizer:
         self.stats = ExpertPlannerStats()
         self._plan_cache: dict[tuple[str, str], tuple[PlanNode, float]] = {}
 
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Plan ``request.query`` (the :class:`Planner` protocol entry).
+
+        The expert keeps only its cost-model-optimal plan, so the result holds
+        one plan regardless of ``request.k``.
+        """
+        started = time.perf_counter()
+        plan, cost = self.optimize_with_cost(request.query)
+        return PlanResult(
+            plans=[plan],
+            predicted_latencies=[cost],
+            planning_seconds=time.perf_counter() - started,
+            planner_name=self.name,
+        )
+
     def optimize(self, query: Query) -> PlanNode:
-        """Plan ``query`` and return the chosen physical plan."""
+        """Deprecated: plan ``query`` and return the chosen physical plan."""
+        warnings.warn(
+            "ExpertOptimizer.optimize() is deprecated; use plan(PlanRequest(...)) "
+            "or optimize_with_cost()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         plan, _ = self.optimize_with_cost(query)
         return plan
 
@@ -92,7 +115,7 @@ class ExpertOptimizer:
             greedy = GreedyOptimizer(
                 self.cost_model, hint_set=self.hint_set, physical=True
             )
-            plan, cost = greedy.optimize(query)
+            plan, cost = greedy.best_plan_and_cost(query)
             self.stats.greedy_planned += 1
         elapsed = time.perf_counter() - started
         self.stats.queries_planned += 1

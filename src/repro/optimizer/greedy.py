@@ -10,8 +10,12 @@ tables) while remaining cost-model-driven.
 
 from __future__ import annotations
 
+import time
+import warnings
+
 from repro.costmodel.base import CostModel
 from repro.execution.hints import HintSet
+from repro.planning.envelope import PlanRequest, PlanResult
 from repro.plans.builders import scan
 from repro.plans.nodes import JoinNode, JoinOperator, PlanNode, ScanOperator
 from repro.sql.query import Query
@@ -26,6 +30,8 @@ class GreedyOptimizer:
         physical: Whether to enumerate physical operators.
     """
 
+    name = "greedy"
+
     def __init__(
         self,
         cost_model: CostModel,
@@ -36,7 +42,28 @@ class GreedyOptimizer:
         self.hint_set = hint_set or HintSet(name="all")
         self.physical = physical
 
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Plan ``request.query`` greedily (the :class:`Planner` protocol entry)."""
+        started = time.perf_counter()
+        plan, cost = self.best_plan_and_cost(request.query)
+        return PlanResult(
+            plans=[plan],
+            predicted_latencies=[cost],
+            planning_seconds=time.perf_counter() - started,
+            planner_name=self.name,
+        )
+
     def optimize(self, query: Query) -> tuple[PlanNode, float]:
+        """Deprecated alias of :meth:`best_plan_and_cost`."""
+        warnings.warn(
+            "GreedyOptimizer.optimize() is deprecated; use plan(PlanRequest(...)) "
+            "or best_plan_and_cost()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.best_plan_and_cost(query)
+
+    def best_plan_and_cost(self, query: Query) -> tuple[PlanNode, float]:
         """Build a complete plan for ``query`` greedily.
 
         Returns:

@@ -13,8 +13,12 @@ valid (connected) space; physical operators are sampled uniformly as well.
 
 from __future__ import annotations
 
+import time
+import warnings
+
 import numpy as np
 
+from repro.planning.envelope import PlanRequest, PlanResult
 from repro.plans.builders import all_join_operators, all_scan_operators, scan
 from repro.plans.nodes import JoinNode, PlanNode
 from repro.sql.query import Query
@@ -93,10 +97,36 @@ class QuickPickOptimizer:
         bushy: Whether bushy shapes may be sampled.
     """
 
+    name = "quickpick"
+
     def __init__(self, seed: int = 0, bushy: bool = True):
         self._rng = new_rng(seed)
         self.bushy = bushy
 
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Sample ``request.k`` random valid plans (the :class:`Planner` entry).
+
+        QuickPick has no cost model, so predictions are ``nan``; results are
+        marked non-cacheable so serving layers never freeze the sampler.
+        """
+        started = time.perf_counter()
+        plans = [
+            random_plan(request.query, self._rng, bushy=self.bushy)
+            for _ in range(request.k)
+        ]
+        return PlanResult(
+            plans=plans,
+            predicted_latencies=[float("nan")] * len(plans),
+            planning_seconds=time.perf_counter() - started,
+            planner_name=self.name,
+            cacheable=False,
+        )
+
     def optimize(self, query: Query) -> PlanNode:
-        """Return one random valid plan for ``query``."""
+        """Deprecated: return one random valid plan for ``query``."""
+        warnings.warn(
+            "QuickPickOptimizer.optimize() is deprecated; use plan(PlanRequest(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return random_plan(query, self._rng, bushy=self.bushy)

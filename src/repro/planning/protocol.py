@@ -1,0 +1,49 @@
+"""The :class:`Planner` protocol: one method, one envelope, any backend.
+
+A planner is anything with a ``name`` and a ``plan(request) -> PlanResult``
+method.  The repository's optimizers implement it natively
+(:class:`~repro.search.beam.BeamSearchPlanner` via the
+:class:`~repro.planning.adapters.BeamPlanner` adapter, which binds the value
+network; :class:`~repro.optimizer.expert.ExpertOptimizer`,
+:class:`~repro.optimizer.dp.DynamicProgrammingOptimizer`,
+:class:`~repro.optimizer.greedy.GreedyOptimizer`,
+:class:`~repro.optimizer.quickpick.QuickPickOptimizer` and
+:class:`~repro.baselines.bao.BaoAgent` directly).
+
+Planners may additionally expose ``version_key()`` returning a hashable
+identity of their current state; caches key results on it so that planners
+whose behaviour changes over time (a value network being trained) invalidate
+naturally.  :func:`planner_version` falls back to the planner's name for
+stateless planners.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Protocol, runtime_checkable
+
+from repro.planning.envelope import PlanRequest, PlanResult
+
+
+@runtime_checkable
+class Planner(Protocol):
+    """Anything that can answer a :class:`PlanRequest` with a :class:`PlanResult`."""
+
+    name: str
+
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Plan ``request.query`` and return the result envelope."""
+        ...
+
+
+def planner_version(planner: Planner) -> Hashable:
+    """The cache identity of ``planner``'s current state.
+
+    Uses the planner's ``version_key()`` when it defines one (e.g. the beam
+    adapter forwards the value network's weight version); otherwise the
+    planner's name — stateless planners produce the same plans forever, so
+    their name is a sufficient cache key.
+    """
+    version_key = getattr(planner, "version_key", None)
+    if callable(version_key):
+        return version_key()
+    return getattr(planner, "name", type(planner).__name__)

@@ -1,0 +1,116 @@
+"""String-keyed planner registry.
+
+A :class:`PlannerRegistry` maps names like ``"beam"``, ``"dp"`` or
+``"postgres"`` to :class:`~repro.planning.protocol.Planner` instances so that
+"compare N planners" or "serve planner X" become one-line operations::
+
+    registry = benchmark.planner_registry(network=agent.value_network)
+    for name in registry.available():
+        result = registry.get(name).plan(PlanRequest(query=q, k=3))
+
+The module also keeps one process-wide default registry behind the
+module-level :func:`register` / :func:`get` / :func:`unregister` /
+:func:`available` functions, which is what ``repro.planning.get("beam")``
+resolves against.  Benchmark-built registries can be installed into it with
+``registry_from_benchmark(benchmark, install=True)``.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+
+from repro.planning.envelope import UnknownPlannerError
+from repro.planning.protocol import Planner
+
+
+class PlannerRegistry:
+    """A mutable, thread-safe mapping of planner names to planner instances."""
+
+    def __init__(self):
+        self._planners: dict[str, Planner] = {}
+        self._lock = Lock()
+
+    def register(self, name: str, planner: Planner, replace: bool = False) -> Planner:
+        """Register ``planner`` under ``name``.
+
+        Args:
+            name: Non-empty registry key.
+            planner: Any object implementing the :class:`Planner` protocol.
+            replace: Allow overwriting an existing entry.
+
+        Returns:
+            The registered planner (for chaining).
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"planner name must be a non-empty string, got {name!r}")
+        if not callable(getattr(planner, "plan", None)):
+            raise TypeError(
+                f"planner {planner!r} does not implement the Planner protocol "
+                "(missing a callable .plan)"
+            )
+        with self._lock:
+            if name in self._planners and not replace:
+                raise ValueError(
+                    f"planner {name!r} is already registered; pass replace=True to overwrite"
+                )
+            self._planners[name] = planner
+        return planner
+
+    def get(self, name: str) -> Planner:
+        """Look up the planner registered under ``name``."""
+        with self._lock:
+            try:
+                return self._planners[name]
+            except KeyError:
+                raise UnknownPlannerError(
+                    f"unknown planner {name!r}; registered: {sorted(self._planners) or 'none'}"
+                ) from None
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` from the registry (missing names raise)."""
+        with self._lock:
+            if name not in self._planners:
+                raise UnknownPlannerError(f"unknown planner {name!r}")
+            del self._planners[name]
+
+    def available(self) -> list[str]:
+        """Sorted names of every registered planner."""
+        with self._lock:
+            return sorted(self._planners)
+
+    def clear(self) -> None:
+        """Drop every registration."""
+        with self._lock:
+            self._planners.clear()
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._planners
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._planners)
+
+
+#: The process-wide default registry behind ``repro.planning.get(...)``.
+default_registry = PlannerRegistry()
+
+
+def register(name: str, planner: Planner, replace: bool = False) -> Planner:
+    """Register ``planner`` under ``name`` in the default registry."""
+    return default_registry.register(name, planner, replace=replace)
+
+
+def get(name: str) -> Planner:
+    """Look up ``name`` in the default registry."""
+    return default_registry.get(name)
+
+
+def unregister(name: str) -> None:
+    """Remove ``name`` from the default registry."""
+    default_registry.unregister(name)
+
+
+def available() -> list[str]:
+    """Names registered in the default registry."""
+    return default_registry.available()

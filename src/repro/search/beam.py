@@ -11,44 +11,34 @@ search stops once ``k`` complete plans have been found; Balsa uses
 A state's score is ``max`` over its member plans of ``V(query, plan)``
 (footnote 6), and per-plan predictions are cached so each distinct subplan is
 scored by the network exactly once per search.
+
+:meth:`BeamSearchPlanner.search` is the native entry point and returns the
+uniform :class:`~repro.planning.envelope.PlanResult` envelope; it accepts a
+per-call ``top_k`` override and an absolute ``deadline`` at which the search
+cuts off early (returning whatever complete plans it has, flagged
+``deadline_exceeded``).  The registry-facing protocol adapter is
+:class:`~repro.planning.adapters.BeamPlanner`.  The historical
+:meth:`BeamSearchPlanner.plan` signature survives as a deprecated delegate.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.model.value_network import ValueNetwork
+from repro.planning.envelope import PlanResult
 from repro.plans.builders import all_join_operators, all_scan_operators, scan
 from repro.plans.nodes import JoinNode, PlanNode, ScanNode
 from repro.search.state import SearchState
 from repro.sql.query import Query
 
-
-@dataclass
-class PlannerResult:
-    """Result of planning one query.
-
-    Attributes:
-        plans: Up to ``k`` complete plans, sorted by ascending predicted latency.
-        predicted_latencies: Predicted latency for each returned plan.
-        planning_seconds: Wall-clock planning time.
-        states_expanded: Number of beam states popped and expanded.
-        plans_scored: Number of distinct subplans scored by the value network.
-    """
-
-    plans: list[PlanNode]
-    predicted_latencies: list[float]
-    planning_seconds: float
-    states_expanded: int = 0
-    plans_scored: int = 0
-
-    @property
-    def best_plan(self) -> PlanNode:
-        """The plan with the lowest predicted latency."""
-        return self.plans[0]
+#: Historical name of the search's result type, kept as an alias: beam search
+#: now returns the uniform planning envelope directly.
+PlannerResult = PlanResult
 
 
 @dataclass
@@ -74,6 +64,8 @@ class BeamSearchPlanner:
         max_expansions: Safety bound on the number of state expansions.
     """
 
+    name = "beam"
+
     def __init__(
         self,
         beam_size: int = 20,
@@ -89,12 +81,14 @@ class BeamSearchPlanner:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def plan(
+    def search(
         self,
         query: Query,
         network: ValueNetwork,
         score_fn: Callable[[Query, list[PlanNode]], Sequence[float]] | None = None,
-    ) -> PlannerResult:
+        top_k: int | None = None,
+        deadline: float | None = None,
+    ) -> PlanResult:
         """Search for up to ``top_k`` complete plans for ``query``.
 
         Args:
@@ -104,8 +98,13 @@ class BeamSearchPlanner:
                 planner service injects its batched scoring bridge here so
                 frontier expansions from concurrent searches coalesce into
                 larger forward passes.
+            top_k: Per-call override of the configured ``top_k``.
+            deadline: Absolute ``time.perf_counter()`` timestamp at which the
+                search stops expanding and returns whatever complete plans it
+                has found so far (``deadline_exceeded`` is set on the result).
         """
         started = time.perf_counter()
+        k = self.top_k if top_k is None else top_k
         predict = score_fn if score_fn is not None else network.predict
         plan_scores: dict[str, float] = {}
         counter = 0
@@ -130,20 +129,25 @@ class BeamSearchPlanner:
         if root.is_terminal():
             # Single-table query: the only plan is a scan of that table.
             plan = root.plans[0]
-            return PlannerResult(
+            return PlanResult(
                 plans=[plan],
                 predicted_latencies=[plan_scores[plan.fingerprint()]],
                 planning_seconds=time.perf_counter() - started,
                 states_expanded=0,
                 plans_scored=len(plan_scores),
+                planner_name=self.name,
             )
 
         beam: list[_BeamEntry] = [_BeamEntry(state_score(root), counter, root)]
         complete: dict[str, tuple[PlanNode, float]] = {}
         visited: set[str] = {root.fingerprint}
         expansions = 0
+        out_of_budget = False
 
-        while beam and len(complete) < self.top_k and expansions < self.max_expansions:
+        while beam and len(complete) < k and expansions < self.max_expansions:
+            if deadline is not None and time.perf_counter() >= deadline:
+                out_of_budget = True
+                break
             entry = heapq.heappop(beam)
             state = entry.state
             expansions += 1
@@ -174,15 +178,32 @@ class BeamSearchPlanner:
                 beam = heapq.nsmallest(self.beam_size, beam)
                 heapq.heapify(beam)
 
-        ordered = sorted(complete.values(), key=lambda pair: pair[1])[: self.top_k]
+        ordered = sorted(complete.values(), key=lambda pair: pair[1])[:k]
         elapsed = time.perf_counter() - started
-        return PlannerResult(
+        return PlanResult(
             plans=[plan for plan, _ in ordered],
             predicted_latencies=[value for _, value in ordered],
             planning_seconds=elapsed,
             states_expanded=expansions,
             plans_scored=len(plan_scores),
+            planner_name=self.name,
+            deadline_exceeded=out_of_budget,
         )
+
+    def plan(
+        self,
+        query: Query,
+        network: ValueNetwork,
+        score_fn: Callable[[Query, list[PlanNode]], Sequence[float]] | None = None,
+    ) -> PlanResult:
+        """Deprecated alias of :meth:`search` (the pre-envelope entry point)."""
+        warnings.warn(
+            "BeamSearchPlanner.plan() is deprecated; use BeamSearchPlanner.search() "
+            "or plan through the repro.planning registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.search(query, network, score_fn=score_fn)
 
     # ------------------------------------------------------------------ #
     # Expansion

@@ -1,25 +1,31 @@
 """The traffic-serving planning layer (``PlannerService``).
 
-Turns the single-query :class:`~repro.search.beam.BeamSearchPlanner` into a
-service that can sit in front of live query traffic:
+Serves the uniform :class:`~repro.planning.envelope.PlanRequest` /
+:class:`~repro.planning.envelope.PlanResult` envelopes over *any*
+:class:`~repro.planning.protocol.Planner` backend:
 
 - :class:`~repro.service.cache.ServicePlanCache` — a cross-query LRU plan
-  cache keyed by ``(query fingerprint, model version)``, so repeated queries
-  skip beam search entirely until the model is updated;
+  cache keyed by ``(query fingerprint, planner version, k)``, so repeated
+  queries skip planning entirely until the backend changes;
 - :class:`~repro.service.batching.BatchedScoringBridge` — coalesces
   child-plan scoring requests from concurrent beam searches into larger
   value-network forward passes;
-- :class:`~repro.service.service.PlannerService` — the front door: a worker
-  pool planning independent queries concurrently, with per-request stats
-  aggregated into a :class:`~repro.service.metrics.ServiceMetrics` report.
+- :class:`~repro.service.service.PlannerService` — the front door: admission
+  control (deadlines, ``max_pending`` capacity, typed
+  :class:`~repro.planning.envelope.AdmissionError` rejections) ahead of a
+  worker pool planning independent queries concurrently, with per-request
+  stats aggregated into a :class:`~repro.service.metrics.ServiceMetrics`
+  report.
 """
 
+from repro.planning.envelope import AdmissionError
 from repro.service.batching import BatchedScoringBridge, ScoringBridgeStats
 from repro.service.cache import CacheStats, ServicePlanCache
 from repro.service.metrics import RequestStats, ServiceMetrics
 from repro.service.service import PlannerService, ServiceResponse
 
 __all__ = [
+    "AdmissionError",
     "BatchedScoringBridge",
     "CacheStats",
     "PlannerService",

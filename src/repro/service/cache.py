@@ -16,10 +16,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.search.beam import PlannerResult
+from repro.planning.envelope import PlanResult as PlannerResult
 
-#: Cache key: (query structural fingerprint, model version key).
-CacheKey = tuple[str, Hashable]
+#: Cache key: (query structural fingerprint, planner/model version key, k).
+CacheKey = tuple[Hashable, ...]
 
 
 @dataclass

@@ -19,9 +19,18 @@ class RequestStats:
             request instead of planning on its own (single-flight dedup).
         queue_wait_seconds: Time between submission and a worker picking the
             request up.
-        planning_seconds: Time spent inside beam search (0 for cache hits).
+        planning_seconds: Time spent inside the planner (0 for cache hits).
         service_seconds: Total time inside the service (queue wait included).
-        model_version: Version key of the model that served the request.
+        model_version: Version key of the planner/model that served the
+            request.
+        planner_name: Registry identity of the serving planner.
+        states_expanded: Search states expanded for this request (0 for cache
+            hits and coalesced joins — the work is charged to the leader).
+        plans_scored: Candidate plans scored for this request (same charging
+            rule).
+        deadline_exceeded: Whether the planner cut its search short because
+            the request's planning budget ran out.
+        priority: The request's scheduling priority.
     """
 
     query_name: str
@@ -31,6 +40,11 @@ class RequestStats:
     planning_seconds: float
     service_seconds: float
     model_version: object = None
+    planner_name: str = ""
+    states_expanded: int = 0
+    plans_scored: int = 0
+    deadline_exceeded: bool = False
+    priority: int = 0
 
 
 @dataclass
@@ -40,11 +54,19 @@ class ServiceMetrics:
     Attributes:
         requests: Total requests served.
         cache_hits: Requests answered by the plan cache.
-        cache_misses: Requests that ran a beam search.
+        cache_misses: Requests that ran a planner.
         coalesced_requests: Requests deduplicated onto an in-flight search.
+        rejected_requests: Requests refused admission (expired deadline or
+            over capacity) with :class:`~repro.planning.envelope.AdmissionError`.
+        deadline_exceeded_requests: Served requests whose search was cut short
+            by its planning budget.
+        total_states_expanded: Summed search-state expansions (fresh searches
+            only).
+        total_plans_scored: Summed candidate plans scored (fresh searches
+            only).
         total_queue_wait_seconds: Summed queue wait across requests.
         max_queue_wait_seconds: Worst observed queue wait.
-        total_planning_seconds: Summed beam-search time (misses only).
+        total_planning_seconds: Summed planner time (misses only).
         total_service_seconds: Summed end-to-end service time.
         wall_seconds: Wall-clock time between the first submission and the
             last completion since the service started (or was reset).
@@ -56,6 +78,10 @@ class ServiceMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     coalesced_requests: int = 0
+    rejected_requests: int = 0
+    deadline_exceeded_requests: int = 0
+    total_states_expanded: int = 0
+    total_plans_scored: int = 0
     total_queue_wait_seconds: float = 0.0
     max_queue_wait_seconds: float = 0.0
     total_planning_seconds: float = 0.0
@@ -76,7 +102,7 @@ class ServiceMetrics:
 
     @property
     def mean_planning_seconds(self) -> float:
-        """Average beam-search time per cache miss."""
+        """Average planner time per cache miss."""
         return self.total_planning_seconds / self.cache_misses if self.cache_misses else 0.0
 
     @property
@@ -91,6 +117,10 @@ class ServiceMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "coalesced_requests": self.coalesced_requests,
+            "rejected_requests": self.rejected_requests,
+            "deadline_exceeded_requests": self.deadline_exceeded_requests,
+            "total_states_expanded": self.total_states_expanded,
+            "total_plans_scored": self.total_plans_scored,
             "hit_rate": self.hit_rate,
             "mean_queue_wait_seconds": self.mean_queue_wait_seconds,
             "max_queue_wait_seconds": self.max_queue_wait_seconds,
@@ -113,14 +143,18 @@ class ServiceMetrics:
         lines = [
             f"requests={self.requests} hits={self.cache_hits} "
             f"misses={self.cache_misses} coalesced={self.coalesced_requests} "
-            f"hit_rate={self.hit_rate:.2%}",
+            f"rejected={self.rejected_requests} hit_rate={self.hit_rate:.2%}",
             f"queue_wait mean={self.mean_queue_wait_seconds * 1e3:.2f}ms "
             f"max={self.max_queue_wait_seconds * 1e3:.2f}ms",
             f"planning mean={self.mean_planning_seconds * 1e3:.2f}ms "
-            f"total={self.total_planning_seconds:.3f}s",
+            f"total={self.total_planning_seconds:.3f}s "
+            f"states_expanded={self.total_states_expanded} "
+            f"plans_scored={self.total_plans_scored}",
             f"throughput={self.queries_per_second:.1f} q/s "
             f"over {self.wall_seconds:.3f}s",
         ]
+        if self.deadline_exceeded_requests:
+            lines.append(f"deadline_exceeded={self.deadline_exceeded_requests}")
         if self.scoring.forward_batches:
             lines.append(
                 f"scoring batches={self.scoring.forward_batches} "

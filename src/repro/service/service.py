@@ -1,19 +1,30 @@
-"""The planner service: concurrent, cache-aware multi-query planning.
+"""The planner service: concurrent, cache-aware planning for any planner.
 
-``PlannerService`` is the front door for planning traffic.  Each request
-passes through three layers:
+``PlannerService`` is the front door for planning traffic.  It serves the
+uniform :class:`~repro.planning.envelope.PlanRequest` /
+:class:`~repro.planning.envelope.PlanResult` envelopes and can sit in front
+of *any* :class:`~repro.planning.protocol.Planner` — the value-network beam
+search (the historical default), a classical expert from the registry, or a
+custom backend.  Each admitted request passes through three layers:
 
 1. the cross-query :class:`~repro.service.cache.ServicePlanCache` — a
-   repeated query under an unchanged model returns its memoised top-k plans
-   without searching;
+   repeated query under an unchanged planner version returns its memoised
+   top-k plans without searching;
 2. single-flight deduplication — identical queries already being planned by
    another worker wait for that search instead of duplicating it;
 3. the worker pool — independent queries plan concurrently, optionally
    sharing one :class:`~repro.service.batching.BatchedScoringBridge` so their
    beam frontiers coalesce into larger value-network forward passes.
 
+Admission control guards the front door: requests whose planning budget has
+already expired, and requests beyond the ``max_pending`` capacity, are
+rejected with a typed :class:`~repro.planning.envelope.AdmissionError`.
+Admitted deadlines are enforced — the remaining budget is handed to the
+planner, and budget-aware planners (beam search) cut off mid-search.
+
 Every request is timed (queue wait, planning, end-to-end) and the service
-aggregates the stream into a :class:`~repro.service.metrics.ServiceMetrics`
+aggregates the stream — including per-search ``states_expanded`` /
+``plans_scored`` — into a :class:`~repro.service.metrics.ServiceMetrics`
 report.
 """
 
@@ -22,42 +33,69 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Callable, Iterable, Union
 
 from repro.model.value_network import ValueNetwork
+from repro.planning.adapters import BeamPlanner
+from repro.planning.envelope import AdmissionError, PlanRequest, PlanResult
+from repro.planning.protocol import Planner, planner_version
 from repro.plans.nodes import PlanNode
-from repro.search.beam import BeamSearchPlanner, PlannerResult
+from repro.search.beam import BeamSearchPlanner
 from repro.service.batching import BatchedScoringBridge
 from repro.service.cache import CacheKey, ServicePlanCache
 from repro.service.metrics import RequestStats, ServiceMetrics
 from repro.sql.query import Query
 
+#: What the request-facing methods accept: a bare query (wrapped into a
+#: default envelope) or a full request.
+RequestLike = Union[Query, PlanRequest]
+
 
 @dataclass
-class ServiceResponse:
+class ServiceResponse(PlanResult):
     """What the service returns for one planning request.
 
-    Attributes:
-        query: The planned query.
-        result: The planner's top-k output (shared with the cache on hits).
-        stats: Per-request timing and cache status.
+    A :class:`~repro.planning.envelope.PlanResult` subtype: cache hits,
+    single-flight joins and fresh searches all return the identical shape,
+    extended with the planned query and per-request service stats.
+
+    The inherited envelope fields (``planning_seconds``, ``states_expanded``,
+    ``plans_scored``) describe the search that *produced the plans* — for a
+    cache hit or coalesced join, that is the original memoised/leader search.
+    Per-request charges live in ``stats``: ``stats.planning_seconds`` is 0 for
+    hits and joins, so summing ``stats`` across responses never double-counts
+    shared work.
     """
 
-    query: Query
-    result: PlannerResult
-    stats: RequestStats
+    query: Query | None = None
+    stats: RequestStats | None = None
 
     @property
-    def best_plan(self) -> PlanNode:
-        """The predicted-best plan."""
-        return self.result.best_plan
+    def result(self) -> PlanResult:
+        """Backwards-compatible view of the planner output (now ``self``)."""
+        return self
 
     @property
     def cache_hit(self) -> bool:
         """Whether the plan cache answered this request."""
         return self.stats.cache_hit
+
+
+def _knobs_key(request: PlanRequest) -> tuple:
+    """Canonical hashable form of the request's knobs for cache/flight keys.
+
+    Knob-sensitive requests (e.g. Bao's ``explore``) must not be served
+    another knob combination's memoised result.
+    """
+    if not request.knobs:
+        return ()
+    return tuple(sorted((str(name), repr(value)) for name, value in request.knobs.items()))
+
+
+class _BudgetDrained(Exception):
+    """Internal: an admitted request's budget ran out before the backend ran."""
 
 
 class _Flight:
@@ -67,27 +105,38 @@ class _Flight:
 
     def __init__(self):
         self.done = threading.Event()
-        self.result: PlannerResult | None = None
+        self.result: PlanResult | None = None
         self.error: BaseException | None = None
 
 
 class PlannerService:
-    """A traffic-serving planning layer over one value network.
+    """A traffic-serving planning layer over one planner backend.
 
     Args:
-        network: The value network guiding every search.  Mutually exclusive
-            with ``network_provider``.
+        network: Value network guiding beam search (the historical backend).
+            Mutually exclusive with ``network_provider`` and with a protocol
+            ``planner``.
         network_provider: Zero-argument callable returning the current
             network; use this when the caller may swap the network object
             (e.g. an agent retraining from scratch).
-        planner: Beam-search planner to run on cache misses.
+        planner: Either a :class:`BeamSearchPlanner` configuring the beam
+            backend (requires a network), or any
+            :class:`~repro.planning.protocol.Planner` — e.g. a registry entry
+            such as ``repro.planning.get("postgres")`` — served through the
+            same cache/dedup/metrics path.
         max_workers: Worker-pool size for :meth:`submit` / :meth:`plan_many`.
         cache_capacity: Plan-cache capacity in entries (0 disables caching).
         coalesce_scoring: Route scoring through the shared batching bridge so
-            concurrent searches share forward passes.  Only engaged when
-            ``max_workers > 1`` (with a single worker it cannot help).
+            concurrent beam searches share forward passes.  Only engaged with
+            the beam backend and ``max_workers > 1``.
         max_batch_size: Forward-pass size cap for the bridge.
         coalesce_wait_seconds: Straggler window of the bridge.
+        max_pending: Admission-control capacity: maximum requests admitted
+            but not yet completed.  Further requests are rejected with
+            :class:`AdmissionError` (``None`` disables the cap).
+        default_k: Plans requested when a bare :class:`Query` is submitted
+            (defaults to the beam planner's ``top_k``, or 1 for protocol
+            backends).
     """
 
     def __init__(
@@ -95,68 +144,173 @@ class PlannerService:
         network: ValueNetwork | None = None,
         *,
         network_provider: Callable[[], ValueNetwork | None] | None = None,
-        planner: BeamSearchPlanner | None = None,
+        planner: BeamSearchPlanner | Planner | None = None,
         max_workers: int = 4,
         cache_capacity: int = 4096,
         coalesce_scoring: bool = True,
         max_batch_size: int = 512,
         coalesce_wait_seconds: float = 0.001,
+        max_pending: int | None = None,
+        default_k: int | None = None,
     ):
-        if (network is None) == (network_provider is None):
-            raise ValueError("provide exactly one of network / network_provider")
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
-        self.network_provider = network_provider or (lambda: network)
-        self.planner = planner or BeamSearchPlanner()
-        self.max_workers = max_workers
-        self.cache = ServicePlanCache(cache_capacity)
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be >= 0 (or None to disable)")
+
+        beam_mode = network is not None or network_provider is not None
         self._bridge: BatchedScoringBridge | None = None
-        if coalesce_scoring and max_workers > 1:
-            self._bridge = BatchedScoringBridge(
-                self._network,
-                max_batch_size=max_batch_size,
-                coalesce_wait_seconds=coalesce_wait_seconds,
+        # The value network's layers stash per-call activations on themselves,
+        # so bare ``network.predict`` is not thread-safe.  With the bridge off
+        # and several workers, scoring serialises through this lock instead.
+        self._predict_lock = threading.Lock()
+        if beam_mode:
+            if (network is None) == (network_provider is None):
+                raise ValueError("provide exactly one of network / network_provider")
+            if planner is not None and not isinstance(planner, BeamSearchPlanner):
+                raise ValueError(
+                    "with a network the planner must be a BeamSearchPlanner; "
+                    "to serve a protocol planner, pass it alone"
+                )
+            self.network_provider = network_provider or (lambda: network)
+            self.planner: BeamSearchPlanner | Planner = planner or BeamSearchPlanner()
+            if coalesce_scoring and max_workers > 1:
+                self._bridge = BatchedScoringBridge(
+                    self._network,
+                    max_batch_size=max_batch_size,
+                    coalesce_wait_seconds=coalesce_wait_seconds,
+                )
+            if self._bridge is not None:
+                score_fn = self._bridge.score
+            elif max_workers > 1:
+                score_fn = self._make_locked_score(self.network_provider)
+            else:
+                score_fn = None
+            self.backend: Planner = BeamPlanner(
+                network_provider=self.network_provider,
+                planner=self.planner,
+                score_fn=score_fn,
             )
+            self._default_k = default_k if default_k is not None else self.planner.top_k
+        else:
+            if planner is None:
+                raise ValueError(
+                    "provide a network/network_provider (beam backend) or a planner "
+                    "implementing the Planner protocol"
+                )
+            if isinstance(planner, BeamSearchPlanner):
+                raise ValueError("a BeamSearchPlanner backend needs a network")
+            if not callable(getattr(planner, "plan", None)):
+                raise TypeError(f"planner {planner!r} does not implement the Planner protocol")
+            self.network_provider = lambda: None
+            self.planner = planner
+            self.backend = planner
+            if (
+                isinstance(planner, BeamPlanner)
+                and planner.score_fn is None
+                and max_workers > 1
+            ):
+                # Bare network.predict is not thread-safe; rebind the adapter
+                # with a lock-guarded predict so searches stay concurrent.
+                self.backend = BeamPlanner(
+                    network_provider=planner.network_provider,
+                    planner=planner.planner,
+                    score_fn=self._make_locked_score(planner.network_provider),
+                )
+            self._default_k = default_k if default_k is not None else 1
+
+        self.max_workers = max_workers
+        self.max_pending = max_pending
+        self.cache = ServicePlanCache(cache_capacity)
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
         self._flights: dict[CacheKey, _Flight] = {}
         self._flight_lock = threading.Lock()
         self._metrics_lock = threading.Lock()
-        # The value network's layers stash per-call activations on themselves,
-        # so bare ``network.predict`` is not thread-safe.  With the bridge off
-        # and several workers, scoring serialises through this lock instead.
-        self._predict_lock = threading.Lock()
+        # Planners that do not declare themselves thread-safe are planned one
+        # at a time; caching, dedup and queueing still run concurrently.
+        self._backend_lock = threading.Lock()
+        self._serialize_backend = max_workers > 1 and not bool(
+            getattr(self.backend, "thread_safe", False)
+        )
         self._closed = False
+        self._pending = 0
         self._reset_aggregates()
 
     # ------------------------------------------------------------------ #
     # Request API
     # ------------------------------------------------------------------ #
-    def plan(self, query: Query) -> ServiceResponse:
-        """Plan one query synchronously on the calling thread."""
-        self._check_open()
-        return self._handle(query, time.perf_counter())
+    def plan(self, request: RequestLike) -> ServiceResponse:
+        """Plan one request synchronously on the calling thread."""
+        envelope = self._as_request(request)
+        self._admit(envelope)
+        return self._handle(envelope, time.perf_counter())
 
-    def submit(self, query: Query) -> Future[ServiceResponse]:
-        """Enqueue one query onto the worker pool.
+    def submit(self, request: RequestLike) -> Future[ServiceResponse]:
+        """Enqueue one request onto the worker pool.
 
-        With ``max_workers == 1`` the request is served on the calling thread
-        instead (same semantics, already-completed future) so single-worker
-        services never spawn threads that would outlive untidy callers.
+        Admission control runs synchronously: requests with an expired
+        deadline, or beyond ``max_pending``, raise :class:`AdmissionError`
+        here rather than through the future.  With ``max_workers == 1`` the
+        request is served on the calling thread instead (same semantics,
+        already-completed future) so single-worker services never spawn
+        threads that would outlive untidy callers.
         """
-        self._check_open()
+        return self._submit(self._as_request(request), count_rejection=True)
+
+    def _submit(
+        self, envelope: PlanRequest, count_rejection: bool
+    ) -> Future[ServiceResponse]:
+        self._admit(envelope, count_rejection=count_rejection)
         if self.max_workers == 1:
             future: Future[ServiceResponse] = Future()
             try:
-                future.set_result(self._handle(query, time.perf_counter()))
+                future.set_result(self._handle(envelope, time.perf_counter()))
             except BaseException as error:
                 future.set_exception(error)
             return future
-        return self._pool().submit(self._handle, query, time.perf_counter())
+        try:
+            return self._pool().submit(self._handle, envelope, time.perf_counter())
+        except BaseException:
+            # The task was never scheduled (e.g. a concurrent close()):
+            # release the admission slot _admit just took.
+            with self._metrics_lock:
+                self._pending -= 1
+            raise
 
-    def plan_many(self, queries: Iterable[Query]) -> list[ServiceResponse]:
-        """Plan several queries concurrently, preserving input order."""
-        futures = [self.submit(query) for query in queries]
+    def plan_many(self, requests: Iterable[RequestLike]) -> list[ServiceResponse]:
+        """Plan several requests concurrently, preserving input order.
+
+        Cooperates with admission control: when ``max_pending`` is reached by
+        this batch's own outstanding requests, submission applies backpressure
+        (waits for one to finish) instead of failing the batch.  Rejections
+        for other reasons — an already-expired deadline, capacity consumed by
+        other callers — still raise :class:`AdmissionError`.
+        """
+        futures: list[Future[ServiceResponse]] = []
+        for request in requests:
+            envelope = self._as_request(request)
+            retried_drained = False
+            while True:
+                try:
+                    # Over-capacity refusals are only counted in the metrics
+                    # when they surface to the caller, not per retry.
+                    futures.append(self._submit(envelope, count_rejection=False))
+                    break
+                except AdmissionError as error:
+                    if error.reason != "over_capacity":
+                        self._count_rejection()
+                        raise
+                    outstanding = [future for future in futures if not future.done()]
+                    if not outstanding and retried_drained:
+                        # The batch holds no capacity and a clean retry was
+                        # already refused: other callers (or max_pending=0)
+                        # own the slots, so the refusal stands as documented.
+                        self._count_rejection()
+                        raise
+                    retried_drained = not outstanding
+                    if outstanding:
+                        wait(outstanding, return_when=FIRST_COMPLETED)
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------ #
@@ -173,6 +327,10 @@ class PlannerService:
                 cache_hits=self._cache_hits,
                 cache_misses=self._cache_misses,
                 coalesced_requests=self._coalesced,
+                rejected_requests=self._rejected,
+                deadline_exceeded_requests=self._deadline_exceeded,
+                total_states_expanded=self._states_expanded,
+                total_plans_scored=self._plans_scored,
                 total_queue_wait_seconds=self._total_queue_wait,
                 max_queue_wait_seconds=self._max_queue_wait,
                 total_planning_seconds=self._total_planning,
@@ -199,6 +357,10 @@ class PlannerService:
         self._cache_hits = 0
         self._cache_misses = 0
         self._coalesced = 0
+        self._rejected = 0
+        self._deadline_exceeded = 0
+        self._states_expanded = 0
+        self._plans_scored = 0
         self._total_queue_wait = 0.0
         self._max_queue_wait = 0.0
         self._total_planning = 0.0
@@ -227,6 +389,54 @@ class PlannerService:
         self.close()
 
     # ------------------------------------------------------------------ #
+    # Admission control
+    # ------------------------------------------------------------------ #
+    def _as_request(self, request: RequestLike) -> PlanRequest:
+        if isinstance(request, PlanRequest):
+            return request
+        if isinstance(request, Query):
+            return PlanRequest(query=request, k=self._default_k)
+        raise TypeError(
+            f"expected a Query or PlanRequest, got {type(request).__name__}"
+        )
+
+    def _admit(self, request: PlanRequest, count_rejection: bool = True) -> None:
+        """Admit ``request`` or raise :class:`AdmissionError`.
+
+        ``count_rejection=False`` lets :meth:`plan_many` retry under
+        backpressure without publishing refusals that are never surfaced.
+        """
+        self._check_open()
+        if request.expired:
+            if count_rejection:
+                self._count_rejection()
+            raise AdmissionError(
+                f"request for {request.query.name!r} arrived with an already-expired "
+                f"deadline ({request.deadline_seconds}s)",
+                reason="deadline_expired",
+            )
+        with self._metrics_lock:
+            if self.max_pending is not None and self._pending >= self.max_pending:
+                if count_rejection:
+                    self._rejected += 1
+                raise AdmissionError(
+                    f"service over capacity: {self._pending} pending requests >= "
+                    f"max_pending={self.max_pending}",
+                    reason="over_capacity",
+                )
+            self._pending += 1
+
+    def _count_rejection(self) -> None:
+        with self._metrics_lock:
+            self._rejected += 1
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests admitted but not yet completed."""
+        with self._metrics_lock:
+            return self._pending
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _check_open(self) -> None:
@@ -247,58 +457,146 @@ class PlannerService:
             raise RuntimeError("planner service has no value network yet")
         return network
 
-    def _handle(self, query: Query, submitted_at: float) -> ServiceResponse:
+    def _handle(self, request: PlanRequest, submitted_at: float) -> ServiceResponse:
+        try:
+            return self._serve(request, submitted_at)
+        finally:
+            with self._metrics_lock:
+                self._pending -= 1
+
+    def _serve(self, request: PlanRequest, submitted_at: float) -> ServiceResponse:
         started = time.perf_counter()
         queue_wait = max(started - submitted_at, 0.0)
-        network = self._network()
-        key = (query.fingerprint(), network.version_key())
+        key: CacheKey = (
+            request.query.fingerprint(),
+            planner_version(self.backend),
+            request.k,
+            _knobs_key(request),
+        )
+        deadline: float | None = None
+        if request.deadline_seconds is not None:
+            deadline = submitted_at + request.deadline_seconds
 
-        cached = self.cache.lookup(key)
-        if cached is not None:
-            return self._finish(
-                query, cached, key, submitted_at, started,
-                cache_hit=True, coalesced=False, planning_seconds=0.0,
-                queue_wait=queue_wait,
-            )
+        while True:
+            # The cache is consulted even when the budget drained in the
+            # queue: a memoised hit costs nothing, so it still beats an empty
+            # truncated answer.
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                return self._finish(
+                    request, cached, key, submitted_at, started,
+                    cache_hit=True, coalesced=False, planning_seconds=0.0,
+                    queue_wait=queue_wait,
+                )
+            if deadline is not None and time.perf_counter() >= deadline:
+                # Admitted, but the budget drained before planning could
+                # start: answer with an empty budget-truncated result (the
+                # same shape a mid-search cutoff produces) rather than
+                # failing the future.
+                return self._finish(
+                    request, self._truncated_result(), key, submitted_at, started,
+                    cache_hit=False, coalesced=False, planning_seconds=0.0,
+                    queue_wait=queue_wait, expired=True,
+                )
 
-        flight, leader = self._join_flight(key)
-        if not leader:
-            flight.done.wait()
+            flight, leader = self._join_flight(key)
+            if leader:
+                break
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            if not flight.done.wait(timeout=remaining):
+                # This request's own budget ran out while riding the leader's
+                # search; answer with an empty budget-truncated result rather
+                # than blocking past the enforced deadline.
+                return self._finish(
+                    request, self._truncated_result(), key, submitted_at, started,
+                    cache_hit=False, coalesced=False, planning_seconds=0.0,
+                    queue_wait=queue_wait, expired=True,
+                )
             if flight.error is not None:
                 raise flight.error
+            if flight.result.deadline_exceeded or not flight.result.cacheable:
+                # The leader's result must not be shared: it was either cut
+                # short by *its* budget, or it is a stochastic draw the
+                # planner marked non-replayable.  Retry — the cache was
+                # deliberately not populated, so this request plans afresh.
+                continue
             return self._finish(
-                query, flight.result, key, submitted_at, started,
+                request, flight.result, key, submitted_at, started,
                 cache_hit=False, coalesced=True, planning_seconds=0.0,
                 queue_wait=queue_wait,
             )
 
+        ran_backend = True
         try:
-            if self._bridge is not None:
-                score_fn = self._bridge.score
-            elif self.max_workers > 1:
-                score_fn = self._locked_predict
-            else:
-                score_fn = None
-            result = self.planner.plan(query, network, score_fn=score_fn)
-            self.cache.store(key, result)
+            try:
+                result = self._backend_plan(request, deadline)
+            except _BudgetDrained:
+                result, ran_backend = self._truncated_result(), False
+            except AdmissionError as error:
+                # A nested serving backend (e.g. an agent's own service) may
+                # re-run admission on the drained remaining budget; admitted
+                # requests still get a truncated response, never a rejection.
+                if error.reason != "deadline_expired":
+                    raise
+                result, ran_backend = self._truncated_result(), False
+            # Budget-truncated results are valid responses but poor cache
+            # entries (an unconstrained request must not inherit them), and
+            # stochastic planners mark their draws non-cacheable.
+            if result.cacheable and not result.deadline_exceeded:
+                self.cache.store(key, result)
             flight.result = result
         except BaseException as error:
             flight.error = error
             raise
         finally:
-            flight.done.set()
+            # Retire the flight *before* waking followers: a woken follower
+            # that retries (non-shareable result) must start a fresh flight,
+            # not rejoin this completed one in a busy loop.
             with self._flight_lock:
                 self._flights.pop(key, None)
+            flight.done.set()
         return self._finish(
-            query, result, key, submitted_at, started,
+            request, result, key, submitted_at, started,
             cache_hit=False, coalesced=False,
             planning_seconds=result.planning_seconds, queue_wait=queue_wait,
+            expired=not ran_backend,
         )
 
-    def _locked_predict(self, query: Query, plans: list[PlanNode]):
-        """Thread-safe direct scoring for concurrent searches without a bridge."""
-        with self._predict_lock:
-            return self._network().predict(query, plans)
+    def _backend_plan(self, request: PlanRequest, deadline: float | None) -> PlanResult:
+        """Run the backend with the *remaining* planning budget."""
+        if deadline is not None:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise _BudgetDrained()
+            request = replace(request, deadline_seconds=remaining)
+        if self._serialize_backend:
+            with self._backend_lock:
+                return self.backend.plan(request)
+        return self.backend.plan(request)
+
+    def _truncated_result(self) -> PlanResult:
+        """An empty budget-truncated result (deadline drained before planning)."""
+        return PlanResult(
+            plans=[], predicted_latencies=[],
+            planner_name=getattr(self.backend, "name", ""),
+            deadline_exceeded=True, cacheable=False,
+        )
+
+    def _make_locked_score(self, provider: Callable[[], ValueNetwork | None]):
+        """A lock-guarded predict bound to ``provider``.
+
+        Used whenever concurrent beam searches would otherwise call bare
+        ``network.predict`` (which is not thread-safe) without the bridge.
+        """
+
+        def score(query: Query, plans: list[PlanNode]):
+            with self._predict_lock:
+                network = provider()
+                if network is None:
+                    raise RuntimeError("planner service has no value network yet")
+                return network.predict(query, plans)
+
+        return score
 
     def _join_flight(self, key: CacheKey) -> tuple[_Flight, bool]:
         """Join (or lead) the in-flight search for ``key``."""
@@ -312,8 +610,8 @@ class PlannerService:
 
     def _finish(
         self,
-        query: Query,
-        result: PlannerResult,
+        request: PlanRequest,
+        result: PlanResult,
         key: CacheKey,
         submitted_at: float,
         started: float,
@@ -321,22 +619,35 @@ class PlannerService:
         coalesced: bool,
         planning_seconds: float,
         queue_wait: float,
+        expired: bool = False,
     ) -> ServiceResponse:
         completed = time.perf_counter()
+        # Search work is charged to the request that ran it; hits, coalesced
+        # joins and budget-drained requests (``expired`` — no planner ran)
+        # report zero so aggregates never double-count.
+        ran_planner = not cache_hit and not coalesced and not expired
         stats = RequestStats(
-            query_name=query.name,
+            query_name=request.query.name,
             cache_hit=cache_hit,
             coalesced=coalesced,
             queue_wait_seconds=queue_wait,
             planning_seconds=planning_seconds,
             service_seconds=completed - submitted_at,
             model_version=key[1],
+            planner_name=result.planner_name,
+            states_expanded=result.states_expanded if ran_planner else 0,
+            plans_scored=result.plans_scored if ran_planner else 0,
+            deadline_exceeded=result.deadline_exceeded and not cache_hit,
+            priority=request.priority,
         )
         with self._metrics_lock:
             self._requests += 1
             self._cache_hits += int(cache_hit)
-            self._cache_misses += int(not cache_hit and not coalesced)
+            self._cache_misses += int(ran_planner)
             self._coalesced += int(coalesced)
+            self._deadline_exceeded += int(stats.deadline_exceeded)
+            self._states_expanded += stats.states_expanded
+            self._plans_scored += stats.plans_scored
             self._total_queue_wait += queue_wait
             self._max_queue_wait = max(self._max_queue_wait, queue_wait)
             self._total_planning += planning_seconds
@@ -349,4 +660,8 @@ class PlannerService:
                 completed if self._window_end is None else max(self._window_end, completed)
             )
             self._log.append(stats)
-        return ServiceResponse(query=query, result=result, stats=stats)
+        # Copy exactly the PlanResult fields (a nested-service backend may
+        # return a full ServiceResponse; its query/stats must not leak), so
+        # future envelope fields propagate without touching this site.
+        payload = {f.name: getattr(result, f.name) for f in dataclass_fields(PlanResult)}
+        return ServiceResponse(**payload, query=request.query, stats=stats)

@@ -33,6 +33,7 @@ from repro.workloads.tpch import make_tpch_queries
 
 if TYPE_CHECKING:
     from repro.model.value_network import ValueNetwork
+    from repro.planning.registry import PlannerRegistry
     from repro.search.beam import BeamSearchPlanner
     from repro.service.service import PlannerService
 
@@ -88,25 +89,46 @@ class WorkloadBenchmark:
 
     def planner_service(
         self,
-        network: ValueNetwork,
+        network: ValueNetwork | None = None,
         planner: BeamSearchPlanner | None = None,
         **service_kwargs,
     ) -> PlannerService:
         """A :class:`PlannerService` serving this benchmark's traffic.
 
         Args:
-            network: Value network guiding the searches (e.g. a trained
+            network: Value network guiding beam searches (e.g. a trained
                 agent's ``value_network``, or a fresh one for smoke tests).
-            planner: Optional custom beam-search planner.
+                Omit it to serve a protocol planner instead.
+            planner: Optional custom beam-search planner, or — with no
+                network — any :class:`~repro.planning.protocol.Planner`
+                (e.g. ``self.planner_registry().get("postgres")``).
             **service_kwargs: Forwarded to :class:`PlannerService` (worker
-                count, cache capacity, coalescing knobs).
+                count, cache capacity, admission control, coalescing knobs).
 
         Returns:
             A ready-to-serve planner service (close it when done).
         """
         from repro.service.service import PlannerService
 
+        if network is None:
+            return PlannerService(planner=planner, **service_kwargs)
         return PlannerService(network, planner=planner, **service_kwargs)
+
+    def planner_registry(
+        self, network: ValueNetwork | None = None, **registry_kwargs
+    ) -> PlannerRegistry:
+        """A registry with the nine standard planners wired to this benchmark.
+
+        Args:
+            network: Value network for the ``"beam"`` entry (a fresh untrained
+                one is built when omitted).
+            **registry_kwargs: Forwarded to
+                :func:`~repro.planning.adapters.registry_from_benchmark`
+                (``bao=``/``neo=`` overrides, ``seed``, ``install``...).
+        """
+        from repro.planning.adapters import registry_from_benchmark
+
+        return registry_from_benchmark(self, network, **registry_kwargs)
 
     # ------------------------------------------------------------------ #
     # Expert baselines
@@ -126,7 +148,7 @@ class WorkloadBenchmark:
         """The expert's plan for ``query`` and its executed latency (cached)."""
         key = (expert, query.name)
         if key not in self._expert_plan_cache:
-            plan = self.expert(expert).optimize(query)
+            plan, _ = self.expert(expert).optimize_with_cost(query)
             result = self.engine.execute(query, plan)
             self._expert_plan_cache[key] = (plan, result.latency)
         return self._expert_plan_cache[key]

@@ -15,6 +15,7 @@ from repro.diversity.merge import (
     retrain_from_experience,
 )
 from repro.model.value_network import ValueNetworkConfig
+from repro.planning.envelope import PlanRequest
 from repro.plans.validation import validate_plan
 from repro.workloads.benchmark import make_job_benchmark
 
@@ -166,7 +167,8 @@ class TestBaoAgent:
         agent = BaoAgent(job_benchmark.environment(), job_benchmark.expert("postgres"), seed=0)
         agent.bootstrap()
         query = job_benchmark.test_queries[0]
-        plan, arm = agent.plan_query(query)
+        result = agent.plan(PlanRequest(query=query))
+        plan, arm = result.best_plan, result.extra["arm_index"]
         validate_plan(query, plan)
         hint = agent.hint_sets[arm]
         assert all(hint.allows_join(j.operator) for j in plan.iter_joins())

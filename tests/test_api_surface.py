@@ -1,0 +1,84 @@
+"""Public-API surface check.
+
+Imports :mod:`repro.api`, asserts every ``__all__`` name resolves, and pins
+the surface to a frozen list so accidental drift (a renamed or dropped
+re-export) fails CI loudly.  Extending the API is a conscious act: add the
+name to ``repro/api.py`` *and* to ``EXPECTED_API`` here.
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.api as api
+import repro.planning as planning
+
+#: The frozen public surface of ``repro.api``.
+EXPECTED_API = sorted(
+    [
+        "AdmissionError",
+        "AgentPlanner",
+        "BalsaAgent",
+        "BalsaConfig",
+        "BalsaEnvironment",
+        "BaoAgent",
+        "BeamPlanner",
+        "BeamSearchPlanner",
+        "ExperimentScale",
+        "NeoAgent",
+        "Planner",
+        "PlannerRegistry",
+        "PlannerService",
+        "PlanningError",
+        "PlanRequest",
+        "PlanResult",
+        "RandomPlanner",
+        "ServiceMetrics",
+        "ServiceResponse",
+        "UnknownPlannerError",
+        "WorkloadBenchmark",
+        "make_job_benchmark",
+        "make_tpch_benchmark",
+        "merge_agent_experiences",
+        "planner_version",
+        "registry_from_benchmark",
+        "retrain_from_experience",
+    ]
+)
+
+
+def test_every_api_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name, None) is not None, f"repro.api.{name} does not resolve"
+
+
+def test_api_surface_is_frozen():
+    assert sorted(api.__all__) == EXPECTED_API, (
+        "repro.api.__all__ drifted; update EXPECTED_API in this test only for "
+        "deliberate API changes"
+    )
+
+
+def test_api_names_are_unique():
+    assert len(api.__all__) == len(set(api.__all__))
+
+
+def test_package_root_reexports():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, f"repro.{name} does not resolve"
+
+
+def test_planning_module_surface():
+    for name in planning.__all__:
+        assert getattr(planning, name, None) is not None, (
+            f"repro.planning.{name} does not resolve"
+        )
+    # The registry front door is callable and importable from the facade too.
+    assert callable(planning.register) and callable(planning.get)
+    assert api.PlanRequest is planning.PlanRequest
+    assert api.AdmissionError is planning.AdmissionError
+
+
+def test_service_reexports_admission_error():
+    from repro.service import AdmissionError as ServiceAdmissionError
+
+    assert ServiceAdmissionError is planning.AdmissionError

@@ -13,6 +13,7 @@ from repro.optimizer.dp import DynamicProgrammingOptimizer
 from repro.optimizer.expert import make_commdb_optimizer, make_postgres_optimizer
 from repro.optimizer.greedy import GreedyOptimizer
 from repro.optimizer.quickpick import QuickPickOptimizer, random_plan
+from repro.planning.envelope import PlanRequest
 from repro.plans.analysis import PlanShape, plan_shape
 from repro.plans.builders import left_deep_plan
 from repro.plans.nodes import JoinOperator, ScanOperator
@@ -104,14 +105,16 @@ class TestDynamicProgramming:
 class TestGreedy:
     def test_produces_valid_plan(self, imdb_database, estimator, five_table_query):
         greedy = GreedyOptimizer(ExpertCostModel(estimator, imdb_database))
-        plan, cost = greedy.optimize(five_table_query)
+        result = greedy.plan(PlanRequest(query=five_table_query))
+        plan, cost = result.best_plan, result.best_predicted_latency
+        assert result.planner_name == "greedy"
         validate_plan(five_table_query, plan)
         assert cost > 0
 
     def test_greedy_cost_not_better_than_dp(self, imdb_database, estimator, five_table_query):
         model = ExpertCostModel(estimator, imdb_database)
         dp_cost = DynamicProgrammingOptimizer(model).optimize(five_table_query).best_cost
-        _, greedy_cost = GreedyOptimizer(model).optimize(five_table_query)
+        _, greedy_cost = GreedyOptimizer(model).best_plan_and_cost(five_table_query)
         assert greedy_cost >= dp_cost - 1e-6
 
 
@@ -128,27 +131,30 @@ class TestQuickPick:
 
     def test_optimizer_wrapper_varies_plans(self, five_table_query):
         optimizer = QuickPickOptimizer(seed=0)
-        fingerprints = {optimizer.optimize(five_table_query).fingerprint() for _ in range(10)}
+        fingerprints = {
+            optimizer.plan(PlanRequest(query=five_table_query)).best_plan.fingerprint()
+            for _ in range(10)
+        }
         assert len(fingerprints) > 1
 
 
 class TestExpertOptimizers:
     def test_postgres_expert_plans_are_valid_and_cached(self, imdb_database, estimator, five_table_query):
         expert = make_postgres_optimizer(imdb_database, estimator)
-        plan_a = expert.optimize(five_table_query)
-        plan_b = expert.optimize(five_table_query)
+        plan_a = expert.plan(PlanRequest(query=five_table_query)).best_plan
+        plan_b = expert.plan(PlanRequest(query=five_table_query)).best_plan
         validate_plan(five_table_query, plan_a)
         assert plan_a.fingerprint() == plan_b.fingerprint()
         assert expert.stats.queries_planned == 1  # second call was cached
 
     def test_commdb_expert_is_left_deep(self, imdb_database, estimator, five_table_query):
         expert = make_commdb_optimizer(imdb_database, estimator)
-        plan = expert.optimize(five_table_query)
+        plan = expert.plan(PlanRequest(query=five_table_query)).best_plan
         assert plan_shape(plan) in (PlanShape.LEFT_DEEP, PlanShape.SINGLE_TABLE)
 
     def test_greedy_fallback_above_dp_limit(self, imdb_database, estimator, five_table_query):
         expert = make_postgres_optimizer(imdb_database, estimator, max_dp_tables=3)
-        expert.optimize(five_table_query)
+        expert.plan(PlanRequest(query=five_table_query))
         assert expert.stats.greedy_planned == 1
 
     def test_with_hint_set_restricts_plan(self, imdb_database, estimator, five_table_query):
@@ -156,12 +162,13 @@ class TestExpertOptimizers:
         restricted = expert.with_hint_set(
             HintSet("no_nl", (JoinOperator.HASH_JOIN, JoinOperator.MERGE_JOIN), (ScanOperator.SEQ_SCAN, ScanOperator.INDEX_SCAN))
         )
-        plan = restricted.optimize(five_table_query)
+        plan = restricted.plan(PlanRequest(query=five_table_query)).best_plan
         assert all(j.operator is not JoinOperator.NESTED_LOOP for j in plan.iter_joins())
 
     def test_expert_beats_random_plans_on_latency(self, imdb_database, engine, estimator, five_table_query):
         expert = make_postgres_optimizer(imdb_database, estimator)
-        expert_latency = engine.execute(five_table_query, expert.optimize(five_table_query)).latency
+        expert_plan = expert.plan(PlanRequest(query=five_table_query)).best_plan
+        expert_latency = engine.execute(five_table_query, expert_plan).latency
         random_latencies = [
             engine.execute(five_table_query, random_plan(five_table_query, s), timeout=600).latency
             for s in range(5)

@@ -52,27 +52,27 @@ class TestSearchState:
 class TestBeamSearch:
     def test_returns_valid_complete_plans(self, network, five_table_query):
         planner = BeamSearchPlanner(beam_size=5, top_k=4, enumerate_scan_operators=False)
-        result = planner.plan(five_table_query, network)
+        result = planner.search(five_table_query, network)
         assert 1 <= len(result.plans) <= 4
         for plan in result.plans:
             validate_plan(five_table_query, plan)
 
     def test_plans_sorted_by_predicted_latency(self, network, five_table_query):
         planner = BeamSearchPlanner(beam_size=5, top_k=4, enumerate_scan_operators=False)
-        result = planner.plan(five_table_query, network)
+        result = planner.search(five_table_query, network)
         assert result.predicted_latencies == sorted(result.predicted_latencies)
 
     def test_greedy_beam_size_one(self, network, three_table_query):
         planner = BeamSearchPlanner(beam_size=1, top_k=1, enumerate_scan_operators=False)
-        result = planner.plan(three_table_query, network)
+        result = planner.search(three_table_query, network)
         assert len(result.plans) >= 1
         validate_plan(three_table_query, result.best_plan)
 
     def test_scan_operator_enumeration_grows_candidates(self, network, three_table_query):
         small = BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=False)
         large = BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=True)
-        plans_without = small.plan(three_table_query, network).plans_scored
-        plans_with = large.plan(three_table_query, network).plans_scored
+        plans_without = small.search(three_table_query, network).plans_scored
+        plans_with = large.search(three_table_query, network).plans_scored
         assert plans_with > plans_without
 
     def test_single_table_query(self, network, imdb_database):
@@ -80,12 +80,12 @@ class TestBeamSearch:
 
         query = Query("single", (TableRef("title", "t"),))
         planner = BeamSearchPlanner(beam_size=2, top_k=1)
-        result = planner.plan(query, network)
+        result = planner.search(query, network)
         assert result.best_plan.leaf_aliases == frozenset({"t"})
 
     def test_planning_time_recorded(self, network, three_table_query):
         planner = BeamSearchPlanner(beam_size=2, top_k=2, enumerate_scan_operators=False)
-        result = planner.plan(three_table_query, network)
+        result = planner.search(three_table_query, network)
         assert result.planning_seconds > 0
         assert result.states_expanded > 0
 

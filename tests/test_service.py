@@ -120,7 +120,7 @@ class TestCacheAcrossModelVersions:
         planner = small_planner()
         examples, labels = [], []
         for query in queries:
-            result = planner.plan(query, network)
+            result = planner.search(query, network)
             examples.append(featurizer.featurize(query, result.best_plan))
             labels.append(1.0)
         trainer = ValueNetworkTrainer(network, max_epochs=1, validation_fraction=0.0)
@@ -152,7 +152,7 @@ class TestCacheAcrossModelVersions:
 class TestConcurrentPlanning:
     def test_concurrent_matches_serial(self, service_queries, network):
         planner = small_planner()
-        serial = [planner.plan(query, network) for query in service_queries]
+        serial = [planner.search(query, network) for query in service_queries]
         with PlannerService(
             network, planner=small_planner(), max_workers=4, coalesce_scoring=True
         ) as service:
@@ -171,8 +171,10 @@ class TestConcurrentPlanning:
 
     def test_single_flight_deduplicates(self, service_queries, network):
         class SlowPlanner(BeamSearchPlanner):
-            def plan(self, query, net, score_fn=None):
-                result = super().plan(query, net, score_fn=score_fn)
+            def search(self, query, net, score_fn=None, top_k=None, deadline=None):
+                result = super().search(
+                    query, net, score_fn=score_fn, top_k=top_k, deadline=deadline
+                )
                 time.sleep(0.05)
                 return result
 
@@ -193,8 +195,8 @@ class TestConcurrentPlanning:
         try:
             query = service_queries[0]
             planner = small_planner()
-            direct = planner.plan(query, network)
-            bridged = planner.plan(query, network, score_fn=bridge.score)
+            direct = planner.search(query, network)
+            bridged = planner.search(query, network, score_fn=bridge.score)
             np.testing.assert_array_equal(
                 np.asarray(direct.predicted_latencies),
                 np.asarray(bridged.predicted_latencies),
