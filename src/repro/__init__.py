@@ -20,6 +20,8 @@ from repro.api import (
     BalsaAgent,
     BalsaConfig,
     BaoAgent,
+    ModelLifecycle,
+    ModelRegistry,
     NeoAgent,
     PlannerService,
     PlanRequest,
@@ -35,6 +37,8 @@ __all__ = [
     "BalsaAgent",
     "BalsaConfig",
     "BaoAgent",
+    "ModelLifecycle",
+    "ModelRegistry",
     "NeoAgent",
     "PlannerService",
     "PlanRequest",

@@ -58,6 +58,15 @@ class BalsaConfig:
         coalesce_scoring: Let concurrent searches share value-network forward
             passes through the batched scoring bridge (only engaged when
             ``planner_workers > 1``).
+        background_training: Delegate value-network updates to the lifecycle
+            subsystem's :class:`~repro.lifecycle.trainer.BackgroundTrainer`:
+            iteration k+1's planning and execution overlap iteration k's
+            fine-tune (the paper's pipelined setup), at the cost of the model
+            lagging one iteration behind the serial schedule.  Every update
+            is snapshotted into the agent's
+            :class:`~repro.lifecycle.registry.ModelRegistry`.
+        lifecycle_retention: Snapshots retained by the agent's model registry
+            when ``background_training`` is on (0 keeps everything).
     """
 
     seed: int = 0
@@ -102,6 +111,10 @@ class BalsaConfig:
     planner_workers: int = 1
     plan_cache_capacity: int = 4096
     coalesce_scoring: bool = True
+
+    # Model lifecycle (background fine-tuning with hot swap).
+    background_training: bool = False
+    lifecycle_retention: int = 16
 
     def with_seed(self, seed: int) -> "BalsaConfig":
         """A copy of the config with a different root seed (per-agent runs)."""

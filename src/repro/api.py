@@ -28,6 +28,16 @@ from repro.baselines.bao import BaoAgent
 from repro.baselines.neo import NeoAgent
 from repro.diversity.merge import merge_agent_experiences, retrain_from_experience
 from repro.evaluation.experiments import ExperimentScale
+from repro.lifecycle import (
+    BackgroundTrainer,
+    LifecycleError,
+    ModelLifecycle,
+    ModelRegistry,
+    ModelSnapshot,
+    PromotionDecision,
+    ShadowEvaluator,
+)
+from repro.model.value_network import StateDictMismatchError
 from repro.planning.adapters import (
     AgentPlanner,
     BeamPlanner,
@@ -55,6 +65,7 @@ from repro.workloads.benchmark import (
 __all__ = [
     "AdmissionError",
     "AgentPlanner",
+    "BackgroundTrainer",
     "BalsaAgent",
     "BalsaConfig",
     "BalsaEnvironment",
@@ -62,6 +73,10 @@ __all__ = [
     "BeamPlanner",
     "BeamSearchPlanner",
     "ExperimentScale",
+    "LifecycleError",
+    "ModelLifecycle",
+    "ModelRegistry",
+    "ModelSnapshot",
     "NeoAgent",
     "Planner",
     "PlannerRegistry",
@@ -69,9 +84,12 @@ __all__ = [
     "PlanningError",
     "PlanRequest",
     "PlanResult",
+    "PromotionDecision",
     "RandomPlanner",
     "ServiceMetrics",
     "ServiceResponse",
+    "ShadowEvaluator",
+    "StateDictMismatchError",
     "UnknownPlannerError",
     "WorkloadBenchmark",
     "make_job_benchmark",

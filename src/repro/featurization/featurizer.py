@@ -51,6 +51,22 @@ class QueryPlanFeaturizer:
         """Dimensionality of the query encoding."""
         return self.query_encoder.dimension
 
+    def signature(self) -> tuple:
+        """Hashable identity of this featuriser's input space.
+
+        Two featurisers with equal signatures produce interchangeable
+        encodings: same schema, same dimensionalities.  Model snapshots embed
+        the signature so weights trained against one featurisation are never
+        silently loaded into a network wired to another.
+        """
+        return (
+            "qpf-v1",
+            getattr(self.schema, "name", ""),
+            tuple(sorted(self.schema.tables)),
+            self.query_dimension,
+            self.plan_node_dimension,
+        )
+
     @property
     def plan_node_dimension(self) -> int:
         """Dimensionality of one plan-node feature vector."""

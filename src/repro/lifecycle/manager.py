@@ -1,0 +1,230 @@
+"""The lifecycle manager: train → shadow → promote → warm, end to end.
+
+:class:`ModelLifecycle` wires the four lifecycle pieces to a running
+:class:`~repro.service.service.PlannerService`:
+
+1. :meth:`baseline` registers and promotes the initially serving network;
+2. :meth:`advance` (or the non-blocking :meth:`submit`) fine-tunes a clone of
+   the serving network on fresh experience via the
+   :class:`~repro.lifecycle.trainer.BackgroundTrainer`;
+3. the candidate snapshot is shadow-evaluated against the serving version on
+   the probe workload; the :class:`~repro.lifecycle.shadow.PromotionDecision`
+   is recorded in the registry's audit trail either way;
+4. approved candidates hot-swap into the service atomically (in-flight
+   requests finish on version N, new requests plan with N+1) and the cache
+   warmer immediately replans the known workload so steady-state traffic
+   stays on the warm path; rejected candidates leave version N serving and
+   bump the service's ``promotions_rejected`` counter.
+
+:meth:`rollback` reverts to the previously serving version — same swap, same
+warming — for when post-promotion monitoring disagrees with the gate.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Sequence
+
+from repro.featurization.featurizer import FeaturizedExample, QueryPlanFeaturizer
+from repro.lifecycle.registry import ModelRegistry
+from repro.lifecycle.shadow import PromotionDecision, ShadowEvaluator
+from repro.lifecycle.snapshot import LifecycleError, ModelSnapshot
+from repro.lifecycle.trainer import BackgroundTrainer
+from repro.model.value_network import ValueNetwork
+from repro.service.service import PlannerService
+from repro.sql.query import Query
+
+
+class ModelLifecycle:
+    """Serve version N while N+1 trains, gates, swaps in and warms up.
+
+    Args:
+        service: The serving front door (must run the beam backend).
+        registry: Snapshot store and promotion audit trail.
+        shadow: The promotion gate.
+        trainer: Background fine-tuner (one is built on ``registry`` when
+            omitted).
+        warm_queries: The known workload the cache warmer replans after every
+            swap (defaults to the shadow evaluator's probe workload).
+        featurizer: Featuriser used to restore snapshots (defaults to the
+            serving network's).
+    """
+
+    def __init__(
+        self,
+        service: PlannerService,
+        registry: ModelRegistry,
+        shadow: ShadowEvaluator,
+        trainer: BackgroundTrainer | None = None,
+        warm_queries: Sequence[Query] | None = None,
+        featurizer: QueryPlanFeaturizer | None = None,
+    ):
+        self.service = service
+        self.registry = registry
+        self.shadow = shadow
+        self.trainer = trainer or BackgroundTrainer(registry)
+        self.warm_queries = (
+            list(warm_queries) if warm_queries is not None else list(shadow.probe_queries)
+        )
+        self._featurizer = featurizer
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+    def baseline(
+        self, network: ValueNetwork | None = None, source: str = "baseline"
+    ) -> ModelSnapshot:
+        """Register and promote the initially serving network.
+
+        Args:
+            network: The network to baseline (defaults to the service's
+                current serving network — the common case after bootstrap).
+            source: Provenance recorded on the snapshot.
+        """
+        network = network if network is not None else self._serving_network()
+        snapshot = self.registry.register(network, source=source)
+        self.registry.promote(snapshot.version)
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Train → shadow → promote → warm
+    # ------------------------------------------------------------------ #
+    def advance(
+        self,
+        examples: Sequence[FeaturizedExample],
+        labels: Sequence[float],
+        *,
+        max_epochs: int | None = None,
+        refit_label_transform: bool = False,
+        source: str = "fine-tune",
+    ) -> PromotionDecision:
+        """Run one full lifecycle round synchronously.
+
+        Fine-tunes a clone of the serving network on ``(examples, labels)``,
+        shadow-evaluates the candidate, and — only if the gate passes —
+        hot-swaps it in and warms the cache.  The serving path keeps
+        answering throughout (training happens on the background thread; this
+        call merely waits for the outcome).
+        """
+        future = self.submit(
+            examples,
+            labels,
+            max_epochs=max_epochs,
+            refit_label_transform=refit_label_transform,
+            source=source,
+        )
+        return future.result()
+
+    def submit(
+        self,
+        examples: Sequence[FeaturizedExample],
+        labels: Sequence[float],
+        *,
+        max_epochs: int | None = None,
+        refit_label_transform: bool = False,
+        source: str = "fine-tune",
+    ) -> "Future[PromotionDecision]":
+        """Non-blocking :meth:`advance`: returns a future of the decision.
+
+        Training, shadow evaluation, the swap and the cache warming all run
+        off the caller's thread; version N serves uninterrupted until (and
+        unless) the candidate passes the gate.
+        """
+        base = self._serving_network()
+        inner = self.trainer.submit(
+            base,
+            examples,
+            labels,
+            parent_version=self.registry.serving_version,
+            refit_label_transform=refit_label_transform,
+            max_epochs=max_epochs,
+            source=source,
+        )
+        outcome: Future = Future()
+
+        def _gate_and_swap(done: Future) -> None:
+            try:
+                report = done.result()
+                outcome.set_result(self.evaluate_and_apply(report.snapshot))
+            except BaseException as error:
+                outcome.set_exception(error)
+
+        inner.add_done_callback(_gate_and_swap)
+        return outcome
+
+    def evaluate_and_apply(self, snapshot: ModelSnapshot) -> PromotionDecision:
+        """Shadow-evaluate ``snapshot`` and promote/reject accordingly."""
+        serving = self._serving_network()
+        featurizer = self._featurizer_for(serving)
+        candidate = snapshot.restore(featurizer)
+        # Shadow-score the serving side on a private restored copy: the live
+        # network's bare ``predict`` is not thread-safe, and service traffic
+        # keeps scoring on it while this evaluation runs.  A lifecycle used
+        # without an explicit baseline() gets one implicitly so the copy
+        # always exists.
+        serving_version = self.registry.serving_version
+        if serving_version is None or serving_version not in self.registry:
+            serving_version = self.baseline(serving, source="auto-baseline").version
+        shadow_serving = self.registry.restore(serving_version, featurizer)
+        decision = self.shadow.evaluate(
+            candidate,
+            shadow_serving,
+            candidate_version=snapshot.version,
+            serving_version=serving_version,
+        )
+        self.registry.record_decision(decision)
+        if decision.promoted:
+            # Swap before promoting: if the swap cannot happen (service
+            # closed), the registry must not claim a version is serving that
+            # never took traffic.
+            self.service.swap_network(candidate)
+            self.registry.promote(snapshot.version)
+            self.warm()
+        else:
+            self.service.record_promotion_rejected()
+        return decision
+
+    def warm(self) -> int:
+        """Replan the known workload so post-swap traffic hits the cache."""
+        if not self.warm_queries:
+            return 0
+        return self.service.warm_cache(self.warm_queries)
+
+    # ------------------------------------------------------------------ #
+    # Rollback
+    # ------------------------------------------------------------------ #
+    def rollback(self) -> ModelSnapshot:
+        """Revert serving to the previously promoted version (and rewarm)."""
+        snapshot = self.registry.rollback()
+        network = snapshot.restore(self._featurizer_for(self._serving_network()))
+        self.service.swap_network(network)
+        self.warm()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the background trainer (the service is the caller's)."""
+        self.trainer.close()
+
+    def __enter__(self) -> "ModelLifecycle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _serving_network(self) -> ValueNetwork:
+        network = self.service.serving_network()
+        if network is None:
+            raise LifecycleError(
+                "the service has no serving value network (protocol backends "
+                "cannot participate in the model lifecycle)"
+            )
+        return network
+
+    def _featurizer_for(self, serving: ValueNetwork) -> QueryPlanFeaturizer:
+        return self._featurizer if self._featurizer is not None else serving.featurizer

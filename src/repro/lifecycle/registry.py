@@ -1,0 +1,213 @@
+"""The versioned model registry: the source of truth for serving weights.
+
+``ModelRegistry`` stores immutable :class:`ModelSnapshot` checkpoints under
+monotone version numbers and tracks which one is *serving*.  ``promote``
+moves the serving pointer forward (normally after the shadow gate passes),
+``rollback`` moves it back to the previously serving version, and a bounded
+retention policy evicts the oldest non-serving snapshots so long-running
+agents do not accumulate every checkpoint ever trained.
+
+The registry is deliberately storage-agnostic (snapshots live in memory as
+numpy arrays); persistence layers can serialise ``snapshot.state`` however
+they like.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Iterable
+
+from repro.featurization.featurizer import QueryPlanFeaturizer
+from repro.lifecycle.snapshot import LifecycleError, ModelSnapshot
+from repro.model.value_network import ValueNetwork
+
+if TYPE_CHECKING:
+    from repro.lifecycle.shadow import PromotionDecision
+
+
+class ModelRegistry:
+    """Thread-safe registry of immutable, versioned model snapshots.
+
+    Args:
+        retention: Maximum snapshots kept.  When exceeded, the oldest
+            snapshots are evicted — except the serving version and the
+            versions on the current rollback chain, which are always
+            retained.  ``0`` disables eviction.
+    """
+
+    def __init__(self, retention: int = 16):
+        if retention < 0:
+            raise ValueError("retention must be >= 0 (0 disables eviction)")
+        self.retention = retention
+        self._snapshots: dict[int, ModelSnapshot] = {}
+        self._next_version = 1
+        self._serving_history: list[int] = []
+        self._decisions: list["PromotionDecision"] = []
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Registration and lookup
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        network: ValueNetwork,
+        source: str = "",
+        parent_version: int | None = None,
+        tag: str = "",
+    ) -> ModelSnapshot:
+        """Snapshot ``network`` and store it under the next version number.
+
+        The snapshot copies the weights, so training the network further
+        never mutates what was registered.
+        """
+        with self._lock:
+            # Lineage may point at an already-evicted ancestor; only reject
+            # versions the registry never issued.
+            if parent_version is not None and not (
+                1 <= parent_version < self._next_version
+            ):
+                raise LifecycleError(
+                    f"parent version {parent_version} was never registered"
+                )
+            version = self._next_version
+            self._next_version += 1
+            snapshot = ModelSnapshot.capture(
+                network, version, source=source, parent_version=parent_version, tag=tag
+            )
+            self._snapshots[version] = snapshot
+            self._evict_locked()
+            return snapshot
+
+    def get(self, version: int) -> ModelSnapshot:
+        """Look up a snapshot by version (evicted/unknown versions raise)."""
+        with self._lock:
+            try:
+                return self._snapshots[version]
+            except KeyError:
+                raise LifecycleError(
+                    f"unknown model version {version}; retained: {self.versions()}"
+                ) from None
+
+    def versions(self) -> list[int]:
+        """Retained versions, ascending."""
+        with self._lock:
+            return sorted(self._snapshots)
+
+    def latest(self) -> ModelSnapshot:
+        """The most recently registered snapshot."""
+        with self._lock:
+            if not self._snapshots:
+                raise LifecycleError("registry holds no snapshots")
+            return self._snapshots[max(self._snapshots)]
+
+    def restore(self, version: int, featurizer: QueryPlanFeaturizer) -> ValueNetwork:
+        """Materialise a fresh network carrying ``version``'s weights."""
+        return self.get(version).restore(featurizer)
+
+    def __contains__(self, version: int) -> bool:
+        with self._lock:
+            return version in self._snapshots
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+    # ------------------------------------------------------------------ #
+    # Serving pointer: promote / rollback
+    # ------------------------------------------------------------------ #
+    @property
+    def serving_version(self) -> int | None:
+        """The version currently marked serving (None before first promote)."""
+        with self._lock:
+            return self._serving_history[-1] if self._serving_history else None
+
+    def serving(self) -> ModelSnapshot:
+        """The serving snapshot."""
+        with self._lock:
+            version = self.serving_version
+            if version is None:
+                raise LifecycleError("no version has been promoted yet")
+            return self.get(version)
+
+    def promote(self, version: int) -> ModelSnapshot:
+        """Mark ``version`` as serving (it must be registered)."""
+        with self._lock:
+            snapshot = self.get(version)
+            if self.serving_version != version:
+                self._serving_history.append(version)
+            self._evict_locked()
+            return snapshot
+
+    def rollback(self) -> ModelSnapshot:
+        """Revert the serving pointer to the previously serving version.
+
+        Returns:
+            The snapshot that is serving after the rollback.
+
+        Raises:
+            LifecycleError: Nothing to roll back to (fewer than two
+                promotions recorded).
+        """
+        with self._lock:
+            if len(self._serving_history) < 2:
+                raise LifecycleError(
+                    "nothing to roll back to: fewer than two promotions recorded"
+                )
+            self._serving_history.pop()
+            return self.get(self._serving_history[-1])
+
+    # ------------------------------------------------------------------ #
+    # Audit trail
+    # ------------------------------------------------------------------ #
+    def record_decision(self, decision: "PromotionDecision") -> None:
+        """Append a shadow-gate decision to the audit trail."""
+        with self._lock:
+            self._decisions.append(decision)
+
+    def decisions(self) -> list["PromotionDecision"]:
+        """Every recorded shadow-gate decision, oldest first."""
+        with self._lock:
+            return list(self._decisions)
+
+    # ------------------------------------------------------------------ #
+    # Retention
+    # ------------------------------------------------------------------ #
+    def _protected_versions(self) -> set[int]:
+        """Versions retention must never evict.
+
+        Bounded by construction: the serving version, the rollback target
+        (the previous distinct serving version), and the newest registration
+        (which a caller is typically about to promote).  Older entries of
+        the serving history become evictable — otherwise a promote-every-
+        round workload (the agent's pipelined training) would protect every
+        version ever served and end up evicting each new candidate the
+        moment it is registered.
+        """
+        protected: set[int] = set()
+        for version in reversed(self._serving_history):
+            protected.add(version)
+            if len(protected) == 2:
+                break
+        if self._snapshots:
+            protected.add(max(self._snapshots))
+        return protected
+
+    def _evict_locked(self) -> None:
+        if self.retention == 0:
+            return
+        protected = self._protected_versions()
+        evictable: Iterable[int] = sorted(
+            v for v in self._snapshots if v not in protected
+        )
+        for version in evictable:
+            if len(self._snapshots) <= self.retention:
+                break
+            del self._snapshots[version]
+        # Rollback must never target an evicted snapshot: drop history
+        # entries whose snapshots are gone (collapsing duplicates that
+        # pruning creates) so the chain always ends on retained versions.
+        pruned: list[int] = []
+        for version in self._serving_history:
+            if version in self._snapshots and (not pruned or pruned[-1] != version):
+                pruned.append(version)
+        self._serving_history = pruned

@@ -1,0 +1,273 @@
+"""Shadow evaluation: gate candidate models on evidence, not hope.
+
+A freshly fine-tuned value network can regress badly on individual queries
+(Neo, VLDB 2019), so promotion must be earned.  The :class:`ShadowEvaluator`
+replans a *probe workload* with both the serving and the candidate model —
+each resolved as a versioned planner through the ordinary planner registry
+(``"beam@v3"``-style names) — costs the chosen plans under one shared
+yardstick, and only approves the candidate when the regression bounds hold:
+
+- no single probe query's plan may cost more than ``max_regression`` times
+  the serving plan, and
+- the candidate's total probe cost may not exceed ``max_total_regression``
+  times the serving total.
+
+Every evaluation produces a :class:`PromotionDecision` — the audit record the
+:class:`~repro.lifecycle.registry.ModelRegistry` keeps so "why is version 7
+serving?" always has an answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.lifecycle.snapshot import LifecycleError
+from repro.model.value_network import ValueNetwork
+from repro.planning.adapters import register_versioned_network
+from repro.planning.envelope import PlanRequest
+from repro.planning.registry import PlannerRegistry
+from repro.plans.nodes import PlanNode
+from repro.search.beam import BeamSearchPlanner
+from repro.sql.query import Query
+
+#: A shared plan yardstick: ``(query, plan) -> cost``.
+PlanCost = Callable[[Query, PlanNode], float]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One probe query's serving-vs-candidate comparison.
+
+    Attributes:
+        query_name: The probe query.
+        serving_cost: Yardstick cost of the serving model's chosen plan.
+        candidate_cost: Yardstick cost of the candidate model's chosen plan.
+        regression: ``candidate_cost / serving_cost`` (> 1 is a regression).
+    """
+
+    query_name: str
+    serving_cost: float
+    candidate_cost: float
+    regression: float
+
+
+@dataclass
+class PromotionDecision:
+    """The audit record of one shadow evaluation.
+
+    Attributes:
+        candidate_version: Registry version of the evaluated candidate.
+        serving_version: Registry version it was compared against.
+        promoted: Whether the gate approved the candidate.
+        reason: Human-readable verdict (which bound failed, or "passed").
+        probes: Per-query comparisons.
+        max_regression: Worst per-query regression observed.
+        regression_threshold: The per-query bound that was enforced.
+        total_regression: Candidate total probe cost / serving total.
+        total_threshold: The workload-level bound that was enforced.
+        created_at: ``time.time()`` when the decision was made.
+    """
+
+    candidate_version: int | None
+    serving_version: int | None
+    promoted: bool
+    reason: str
+    probes: list[ProbeResult] = field(default_factory=list)
+    max_regression: float = 0.0
+    regression_threshold: float = 0.0
+    total_regression: float = 0.0
+    total_threshold: float = 0.0
+    created_at: float = field(default_factory=time.time)
+
+    @property
+    def worst_probe(self) -> ProbeResult | None:
+        """The probe with the largest regression (None without probes)."""
+        return max(self.probes, key=lambda p: p.regression) if self.probes else None
+
+    def format_report(self) -> str:
+        """A short human-readable summary of the decision."""
+        verdict = "PROMOTED" if self.promoted else "REJECTED"
+        lines = [
+            f"candidate v{self.candidate_version} vs serving "
+            f"v{self.serving_version}: {verdict} ({self.reason})",
+            f"probes={len(self.probes)} max_regression={self.max_regression:.3f} "
+            f"(bound {self.regression_threshold:.3f}) "
+            f"total_regression={self.total_regression:.3f} "
+            f"(bound {self.total_threshold:.3f})",
+        ]
+        worst = self.worst_probe
+        if worst is not None:
+            lines.append(
+                f"worst probe {worst.query_name}: {worst.serving_cost:.1f} -> "
+                f"{worst.candidate_cost:.1f} ({worst.regression:.3f}x)"
+            )
+        return "\n".join(lines)
+
+
+class ShadowEvaluator:
+    """Replans a probe workload with candidate vs serving and applies bounds.
+
+    Args:
+        probe_queries: The known workload to shadow-plan (typically the
+            training queries — the same set the cache warmer replays).
+        plan_cost: Shared yardstick ``(query, plan) -> cost`` (e.g.
+            ``CoutCostModel(estimator).cost``).  Both models' chosen plans
+            are costed with it, so the comparison never trusts either
+            model's own predictions.
+        max_regression: Per-query bound: candidate cost may not exceed this
+            multiple of the serving cost on any probe.
+        max_total_regression: Workload bound on total probe cost.
+        planner: Beam-search configuration used for both sides (defaults to
+            paper settings).
+        planner_registry: Registry the versioned planners are registered
+            into (``"beam@v<N>"``); a private one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        probe_queries: Sequence[Query],
+        plan_cost: PlanCost,
+        max_regression: float = 1.5,
+        max_total_regression: float = 1.1,
+        planner: BeamSearchPlanner | None = None,
+        planner_registry: PlannerRegistry | None = None,
+    ):
+        self.probe_queries = list(probe_queries)
+        if not self.probe_queries:
+            raise ValueError("shadow evaluation needs at least one probe query")
+        if max_regression <= 0 or max_total_regression <= 0:
+            raise ValueError("regression bounds must be positive")
+        self.plan_cost = plan_cost
+        self.max_regression = max_regression
+        self.max_total_regression = max_total_regression
+        self.planner = planner or BeamSearchPlanner()
+        self.planner_registry = planner_registry or PlannerRegistry()
+        self._registered: list[str] = []
+
+    @classmethod
+    def from_environment(
+        cls,
+        environment,
+        probe_queries: Sequence[Query] | None = None,
+        **kwargs,
+    ) -> "ShadowEvaluator":
+        """An evaluator probing ``environment``'s training workload.
+
+        Plans are costed with the minimal :math:`C_{out}` model over the
+        environment's cardinality estimator — cheap, deterministic, and
+        independent of both value networks.
+        """
+        from repro.costmodel.cout import CoutCostModel
+
+        queries = (
+            list(probe_queries)
+            if probe_queries is not None
+            else list(environment.train_queries)
+        )
+        return cls(queries, CoutCostModel(environment.estimator).cost, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        candidate: ValueNetwork,
+        serving: ValueNetwork,
+        candidate_version: int | None = None,
+        serving_version: int | None = None,
+    ) -> PromotionDecision:
+        """Shadow-plan the probes with both models and decide on promotion.
+
+        Args:
+            candidate: The freshly trained network under evaluation.
+            serving: The network currently taking traffic.
+            candidate_version: Registry version recorded on the decision.
+            serving_version: Registry version recorded on the decision.
+        """
+        candidate_name = register_versioned_network(
+            self.planner_registry,
+            candidate,
+            candidate_version if candidate_version is not None else "candidate",
+            planner=self.planner,
+        )
+        serving_name = register_versioned_network(
+            self.planner_registry,
+            serving,
+            serving_version if serving_version is not None else "serving",
+            planner=self.planner,
+        )
+        # Only the current pair stays registered: each versioned entry pins a
+        # full weight copy, so a long-lived evaluator must not accumulate one
+        # per round.
+        for stale in self._registered:
+            if stale not in (candidate_name, serving_name) and (
+                stale in self.planner_registry
+            ):
+                self.planner_registry.unregister(stale)
+        self._registered = [candidate_name, serving_name]
+        # Imported here: repro.evaluation's package init pulls in the agent
+        # stack, which itself imports the lifecycle package.
+        from repro.evaluation.metrics import per_query_regressions
+
+        serving_costs = self._probe_costs(serving_name)
+        candidate_costs = self._probe_costs(candidate_name)
+        regressions = per_query_regressions(serving_costs, candidate_costs)
+
+        probes = [
+            ProbeResult(
+                query_name=name,
+                serving_cost=serving_costs[name],
+                candidate_cost=candidate_costs[name],
+                regression=regressions[name],
+            )
+            for name in (query.name for query in self.probe_queries)
+        ]
+        max_regression = max(p.regression for p in probes)
+        serving_total = sum(p.serving_cost for p in probes)
+        candidate_total = sum(p.candidate_cost for p in probes)
+        total_regression = candidate_total / max(serving_total, 1e-12)
+
+        if max_regression > self.max_regression:
+            worst = max(probes, key=lambda p: p.regression)
+            promoted = False
+            reason = (
+                f"per-query regression bound violated: {worst.query_name} "
+                f"regressed {worst.regression:.3f}x > {self.max_regression:.3f}x"
+            )
+        elif total_regression > self.max_total_regression:
+            promoted = False
+            reason = (
+                f"workload regression bound violated: total probe cost "
+                f"{total_regression:.3f}x > {self.max_total_regression:.3f}x"
+            )
+        else:
+            promoted = True
+            reason = "passed: all regression bounds hold"
+
+        return PromotionDecision(
+            candidate_version=candidate_version,
+            serving_version=serving_version,
+            promoted=promoted,
+            reason=reason,
+            probes=probes,
+            max_regression=max_regression,
+            regression_threshold=self.max_regression,
+            total_regression=total_regression,
+            total_threshold=self.max_total_regression,
+        )
+
+    def _probe_costs(self, planner_name: str) -> dict[str, float]:
+        """Plan every probe with the named registry planner; cost best plans."""
+        planner = self.planner_registry.get(planner_name)
+        costs: dict[str, float] = {}
+        for query in self.probe_queries:
+            result = planner.plan(PlanRequest(query=query, k=1))
+            if not result.plans:
+                raise LifecycleError(
+                    f"shadow planner {planner_name!r} returned no plan for "
+                    f"{query.name!r}"
+                )
+            costs[query.name] = float(self.plan_cost(query, result.best_plan))
+        return costs

@@ -1,0 +1,118 @@
+"""Immutable, versioned snapshots of value-network weights.
+
+A :class:`ModelSnapshot` is the unit of currency of the model lifecycle: the
+:class:`~repro.lifecycle.registry.ModelRegistry` stores them, the
+:class:`~repro.lifecycle.trainer.BackgroundTrainer` produces candidate ones,
+the shadow gate decides which get promoted, and
+:meth:`ModelSnapshot.restore` materialises a fresh
+:class:`~repro.model.value_network.ValueNetwork` to hot-swap into the serving
+path.
+
+Snapshots wrap the network's self-describing ``state_dict()`` (weights +
+architecture config + featuriser signature), so restoring against an
+incompatible featurisation raises
+:class:`~repro.model.value_network.StateDictMismatchError` instead of
+silently mis-loading.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.featurization.featurizer import QueryPlanFeaturizer
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+
+
+class LifecycleError(RuntimeError):
+    """Base class for model-lifecycle errors (unknown versions, bad rollbacks)."""
+
+
+def _frozen_state(state: dict) -> dict:
+    """Mark a freshly produced state dict's weight arrays read-only.
+
+    ``ValueNetwork.state_dict()`` already copies every array, so freezing in
+    place avoids a second full copy per capture; only call this on a state
+    dict nothing else holds references into.
+    """
+    weights = {}
+    for name, values in state["weights"].items():
+        array = np.asarray(values, dtype=np.float64)
+        array.setflags(write=False)
+        weights[name] = array
+    frozen = dict(state)
+    frozen["weights"] = weights
+    return frozen
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """One immutable, versioned checkpoint of a value network.
+
+    Attributes:
+        version: Registry-assigned monotone version number (1, 2, ...).
+        state: The network's ``state_dict()`` payload (weight arrays are
+            copies marked read-only; treat the whole mapping as immutable).
+        source: Human-readable provenance (``"bootstrap"``, ``"fine-tune"``,
+            ...).
+        parent_version: Version this snapshot was fine-tuned from (None for
+            roots).
+        created_at: ``time.time()`` at registration.
+        tag: Optional free-form label.
+    """
+
+    version: int
+    state: dict = field(repr=False)
+    source: str = ""
+    parent_version: int | None = None
+    created_at: float = field(default_factory=time.time)
+    tag: str = ""
+
+    @property
+    def featurizer_signature(self) -> tuple | None:
+        """The featuriser identity the weights were trained against."""
+        signature = self.state.get("featurizer_signature")
+        return tuple(signature) if signature is not None else None
+
+    @property
+    def network_config(self) -> ValueNetworkConfig:
+        """The architecture the weights belong to."""
+        config = dict(self.state.get("config", {}))
+        if "tree_channels" in config:
+            config["tree_channels"] = tuple(config["tree_channels"])
+        return ValueNetworkConfig(**config)
+
+    def restore(self, featurizer: QueryPlanFeaturizer) -> ValueNetwork:
+        """Materialise a fresh network carrying this snapshot's weights.
+
+        The returned network has its own identity (fresh ``uid``), so serving
+        caches keyed on :meth:`ValueNetwork.version_key` treat it as a new
+        version — exactly what a hot swap needs.
+
+        Raises:
+            StateDictMismatchError: ``featurizer`` does not match the
+                signature the weights were trained against.
+        """
+        network = ValueNetwork(featurizer, self.network_config)
+        network.load_state_dict(self.state)
+        return network
+
+    @classmethod
+    def capture(
+        cls,
+        network: ValueNetwork,
+        version: int,
+        source: str = "",
+        parent_version: int | None = None,
+        tag: str = "",
+    ) -> "ModelSnapshot":
+        """Snapshot ``network``'s current weights under ``version``."""
+        return cls(
+            version=version,
+            state=_frozen_state(network.state_dict()),
+            source=source,
+            parent_version=parent_version,
+            tag=tag,
+        )

@@ -1,0 +1,209 @@
+"""Background fine-tuning: train version N+1 while version N keeps serving.
+
+The :class:`BackgroundTrainer` owns a single dedicated training thread.  A
+``submit()`` call clones the base network (or restores a registry snapshot),
+fine-tunes the clone on the supplied experience with the ordinary
+:class:`~repro.model.trainer.ValueNetworkTrainer`, registers the result as a
+candidate snapshot in the :class:`~repro.lifecycle.registry.ModelRegistry`,
+and returns a future — the serving path never blocks on SGD.
+
+Training on a *clone* is what makes the overlap safe: the serving network's
+weights are never touched, so beam searches in flight keep scoring against a
+consistent version while the candidate converges off to the side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.featurization.featurizer import FeaturizedExample
+from repro.lifecycle.registry import ModelRegistry
+from repro.lifecycle.snapshot import LifecycleError, ModelSnapshot
+from repro.model.trainer import TrainingHistory, ValueNetworkTrainer
+from repro.model.value_network import ValueNetwork
+
+
+@dataclass
+class FineTuneReport:
+    """What one background fine-tune produced.
+
+    Attributes:
+        snapshot: The candidate snapshot registered in the model registry.
+        history: The training-loss history of the fine-tune.
+        train_seconds: Wall-clock time spent training (off the serving path).
+        examples: Number of training examples consumed.
+    """
+
+    snapshot: ModelSnapshot
+    history: TrainingHistory
+    train_seconds: float
+    examples: int
+
+
+class BackgroundTrainer:
+    """Fine-tunes candidate networks off the serving path.
+
+    Args:
+        registry: Registry that receives the candidate snapshots.
+        learning_rate: Adam step size for fine-tunes.
+        batch_size: Minibatch size.
+        max_epochs: Default epoch budget per fine-tune.
+        validation_fraction: Held-out fraction for early stopping.
+        patience: Early-stopping patience in epochs.
+        seed: Seed for shuffling/splitting.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        learning_rate: float = 1e-3,
+        batch_size: int = 128,
+        max_epochs: int = 5,
+        validation_fraction: float = 0.1,
+        patience: int = 2,
+        seed: int = 0,
+    ):
+        self.registry = registry
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.validation_fraction = validation_fraction
+        self.patience = patience
+        self.seed = seed
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="lifecycle-trainer"
+        )
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        base: ValueNetwork,
+        examples: Sequence[FeaturizedExample],
+        labels: Sequence[float],
+        *,
+        parent_version: int | None = None,
+        refit_label_transform: bool = False,
+        max_epochs: int | None = None,
+        source: str = "fine-tune",
+        tag: str = "",
+    ) -> Future:
+        """Enqueue a fine-tune of a clone of ``base``; returns a future.
+
+        The clone is taken synchronously (so ``base`` may keep serving and
+        even be retrained afterwards without racing this job); everything
+        else runs on the background thread.  The future resolves to a
+        :class:`FineTuneReport` whose snapshot is already registered.
+
+        Args:
+            base: Network whose weights seed the candidate.
+            examples: Featurised training examples (featurise on the caller's
+                thread — the featurizer cache is not synchronised).
+            labels: Raw-unit targets, one per example.
+            parent_version: Registry version of ``base`` (recorded as the
+                candidate's lineage when given).
+            refit_label_transform: Refit the label normalisation on these
+                labels (keep False for incremental fine-tunes).
+            max_epochs: Optional override of the configured epoch budget.
+            source: Provenance string recorded on the snapshot.
+            tag: Optional label recorded on the snapshot.
+        """
+        with self._lock:
+            if self._closed:
+                raise LifecycleError("background trainer is closed")
+            self._pending += 1
+        candidate = base.clone()
+        try:
+            future = self._executor.submit(
+                self._train,
+                candidate,
+                list(examples),
+                list(labels),
+                parent_version,
+                refit_label_transform,
+                max_epochs,
+                source,
+                tag,
+            )
+        except BaseException:
+            with self._lock:
+                self._pending -= 1
+            raise
+        future.add_done_callback(self._on_done)
+        return future
+
+    def train(self, *args, **kwargs) -> FineTuneReport:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(*args, **kwargs).result()
+
+    @property
+    def pending(self) -> int:
+        """Fine-tunes submitted but not yet finished."""
+        with self._lock:
+            return self._pending
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) wait for in-flight ones."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "BackgroundTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The training thread
+    # ------------------------------------------------------------------ #
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self._pending -= 1
+
+    def _train(
+        self,
+        candidate: ValueNetwork,
+        examples: list[FeaturizedExample],
+        labels: list[float],
+        parent_version: int | None,
+        refit_label_transform: bool,
+        max_epochs: int | None,
+        source: str,
+        tag: str,
+    ) -> FineTuneReport:
+        started = time.perf_counter()
+        trainer = ValueNetworkTrainer(
+            candidate,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            max_epochs=max_epochs if max_epochs is not None else self.max_epochs,
+            validation_fraction=self.validation_fraction,
+            patience=self.patience,
+            seed=self.seed,
+        )
+        history = trainer.fit(
+            examples,
+            labels,
+            refit_label_transform=refit_label_transform,
+            max_epochs=max_epochs,
+        )
+        snapshot = self.registry.register(
+            candidate, source=source, parent_version=parent_version, tag=tag
+        )
+        return FineTuneReport(
+            snapshot=snapshot,
+            history=history,
+            train_seconds=time.perf_counter() - started,
+            examples=len(examples),
+        )

@@ -6,10 +6,17 @@ and §7.  It is a tree convolution network over the plan's node table, with the
 query's selectivity vector injected into every node.
 """
 
-from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.model.value_network import (
+    StateDictError,
+    StateDictMismatchError,
+    ValueNetwork,
+    ValueNetworkConfig,
+)
 from repro.model.trainer import TrainingHistory, ValueNetworkTrainer
 
 __all__ = [
+    "StateDictError",
+    "StateDictMismatchError",
     "ValueNetwork",
     "ValueNetworkConfig",
     "TrainingHistory",

@@ -30,6 +30,20 @@ from repro.sql.query import Query
 from repro.utils.rng import RngFactory
 
 
+class StateDictError(RuntimeError):
+    """Base class for weight (de)serialisation failures."""
+
+
+class StateDictMismatchError(StateDictError):
+    """A state dict is incompatible with the target network.
+
+    Raised instead of silently mis-loading when the serialized weights were
+    produced by a different architecture (missing/unexpected/mis-shaped
+    parameters) or against a different featurisation (schema or encoder
+    dimensionalities changed).
+    """
+
+
 @dataclass
 class ValueNetworkConfig:
     """Hyper-parameters of the value network.
@@ -157,6 +171,72 @@ class ValueNetwork:
                     )
                 parameter.value = values.copy()
                 parameter.grad = np.zeros_like(parameter.value)
+        self.bump_version()
+
+    # ------------------------------------------------------------------ #
+    # Explicit checkpoint format (lifecycle snapshots)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """A self-describing checkpoint of this network.
+
+        Unlike the flat :meth:`get_state` mapping, the state dict carries the
+        architecture config and the featuriser signature alongside the
+        weights, so :meth:`load_state_dict` can verify compatibility instead
+        of silently mis-loading.
+        """
+        from dataclasses import asdict
+
+        return {
+            "format": "value-network-v1",
+            "weights": {p.name: p.value.copy() for p in self.parameters()},
+            "label_mean": self.label_mean,
+            "label_std": self.label_std,
+            "config": asdict(self.config),
+            "featurizer_signature": self.featurizer.signature(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load a checkpoint produced by :meth:`state_dict`.
+
+        Raises:
+            StateDictMismatchError: When the checkpoint's featuriser signature
+                differs from this network's, or its weights do not line up
+                with this architecture (missing, unexpected or mis-shaped
+                parameters).
+        """
+        if not isinstance(state, dict) or "weights" not in state:
+            raise StateDictMismatchError(
+                "not a value-network state dict (missing 'weights'); "
+                "use set_state() for flat weight mappings"
+            )
+        recorded = state.get("featurizer_signature")
+        current = self.featurizer.signature()
+        if recorded is not None and tuple(recorded) != current:
+            raise StateDictMismatchError(
+                f"featurizer mismatch: checkpoint was trained against "
+                f"{tuple(recorded)!r}, this network featurises {current!r}"
+            )
+        weights = state["weights"]
+        by_name = {p.name: p for p in self.parameters()}
+        missing = sorted(set(by_name) - set(weights))
+        unexpected = sorted(set(weights) - set(by_name))
+        if missing or unexpected:
+            raise StateDictMismatchError(
+                f"parameter names do not line up: missing {missing or 'none'}, "
+                f"unexpected {unexpected or 'none'}"
+            )
+        for name, parameter in by_name.items():
+            values = np.asarray(weights[name])
+            if parameter.value.shape != values.shape:
+                raise StateDictMismatchError(
+                    f"shape mismatch for {name}: network expects "
+                    f"{parameter.value.shape}, checkpoint holds {values.shape}"
+                )
+        for name, parameter in by_name.items():
+            parameter.value = np.array(weights[name], dtype=np.float64, copy=True)
+            parameter.grad = np.zeros_like(parameter.value)
+        self.label_mean = float(state.get("label_mean", 0.0))
+        self.label_std = float(state.get("label_std", 1.0))
         self.bump_version()
 
     def bump_version(self) -> None:

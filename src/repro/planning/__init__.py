@@ -51,7 +51,9 @@ _LAZY_ADAPTER_NAMES = (
     "BeamPlanner",
     "RandomPlanner",
     "STANDARD_PLANNERS",
+    "register_versioned_network",
     "registry_from_benchmark",
+    "versioned_planner_name",
 )
 
 __all__ = [

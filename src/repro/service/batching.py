@@ -28,11 +28,14 @@ from repro.sql.query import Query
 class _ScoreRequest:
     """One pending scoring request from a beam search."""
 
-    __slots__ = ("query", "plans", "done", "result", "error")
+    __slots__ = ("query", "plans", "network", "done", "result", "error")
 
-    def __init__(self, query: Query, plans: list[PlanNode]):
+    def __init__(
+        self, query: Query, plans: list[PlanNode], network: ValueNetwork | None = None
+    ):
         self.query = query
         self.plans = plans
+        self.network = network
         self.done = threading.Event()
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
@@ -103,15 +106,28 @@ class BatchedScoringBridge:
     # ------------------------------------------------------------------ #
     # Search-facing API
     # ------------------------------------------------------------------ #
-    def score(self, query: Query, plans: list[PlanNode]) -> np.ndarray:
+    def score(
+        self,
+        query: Query,
+        plans: list[PlanNode],
+        network: ValueNetwork | None = None,
+    ) -> np.ndarray:
         """Score ``plans`` for ``query``; blocks until the batch runs.
 
         Drop-in replacement for ``ValueNetwork.predict`` — beam searches pass
         this as their ``score_fn``.
+
+        Args:
+            query: The query the plans belong to.
+            plans: Candidate plans to score.
+            network: Optional network pinned to this request.  The serving
+                layer pins the network resolved at admission time so an
+                in-flight search keeps scoring against version N across a hot
+                swap to N+1; unpinned requests follow ``network_provider``.
         """
         if not plans:
             return np.zeros(0, dtype=np.float64)
-        request = _ScoreRequest(query, list(plans))
+        request = _ScoreRequest(query, list(plans), network)
         # The closed check and the enqueue share a lock with close() so no
         # request can slip in behind the shutdown sentinel and wait forever.
         with self._submit_lock:
@@ -183,22 +199,39 @@ class BatchedScoringBridge:
         return requests
 
     def _serve(self, requests: list[_ScoreRequest]) -> None:
-        """Run one coalesced forward pass and scatter results to requests."""
-        try:
-            predictions = self._predict(requests)
-            offset = 0
-            for request in requests:
-                request.result = predictions[offset : offset + len(request.plans)]
-                offset += len(request.plans)
-        except BaseException as error:  # surface failures in the caller
-            for request in requests:
-                request.error = error
-        finally:
-            for request in requests:
-                request.done.set()
+        """Run coalesced forward passes and scatter results to requests.
+
+        Requests pinned to different networks (a hot-swap window: some
+        searches still on version N, new ones on N+1) are never mixed into
+        one forward pass; each pinned group gets its own batch.
+        """
+        for group in self._group_by_network(requests):
+            try:
+                predictions = self._predict(group)
+                offset = 0
+                for request in group:
+                    request.result = predictions[offset : offset + len(request.plans)]
+                    offset += len(request.plans)
+            except BaseException as error:  # surface failures in the caller
+                for request in group:
+                    request.error = error
+            finally:
+                for request in group:
+                    request.done.set()
+
+    @staticmethod
+    def _group_by_network(
+        requests: Sequence[_ScoreRequest],
+    ) -> list[list[_ScoreRequest]]:
+        groups: dict[int, list[_ScoreRequest]] = {}
+        for request in requests:
+            groups.setdefault(id(request.network), []).append(request)
+        return list(groups.values())
 
     def _predict(self, requests: Sequence[_ScoreRequest]) -> np.ndarray:
-        network = self.network_provider()
+        network = requests[0].network
+        if network is None:
+            network = self.network_provider()
         featurizer = network.featurizer
         examples = [
             featurizer.featurize(request.query, plan)

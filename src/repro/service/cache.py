@@ -97,6 +97,11 @@ class ServicePlanCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
+    def contains(self, key: CacheKey) -> bool:
+        """Whether ``key`` is cached, without touching recency or counters."""
+        with self._lock:
+            return key in self._entries
+
     def clear(self) -> None:
         """Drop all entries (statistics are preserved)."""
         with self._lock:

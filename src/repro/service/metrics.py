@@ -60,6 +60,13 @@ class ServiceMetrics:
             over capacity) with :class:`~repro.planning.envelope.AdmissionError`.
         deadline_exceeded_requests: Served requests whose search was cut short
             by its planning budget.
+        swaps: Hot swaps of the serving model (lifecycle promotions and
+            rollbacks).
+        promotions_rejected: Candidate models the shadow-evaluation gate
+            refused to promote.
+        warmed_entries: Plan-cache entries populated by cache warming (fresh
+            searches run by :meth:`PlannerService.warm_cache`, typically right
+            after a hot swap).
         total_states_expanded: Summed search-state expansions (fresh searches
             only).
         total_plans_scored: Summed candidate plans scored (fresh searches
@@ -80,6 +87,9 @@ class ServiceMetrics:
     coalesced_requests: int = 0
     rejected_requests: int = 0
     deadline_exceeded_requests: int = 0
+    swaps: int = 0
+    promotions_rejected: int = 0
+    warmed_entries: int = 0
     total_states_expanded: int = 0
     total_plans_scored: int = 0
     total_queue_wait_seconds: float = 0.0
@@ -119,6 +129,9 @@ class ServiceMetrics:
             "coalesced_requests": self.coalesced_requests,
             "rejected_requests": self.rejected_requests,
             "deadline_exceeded_requests": self.deadline_exceeded_requests,
+            "swaps": self.swaps,
+            "promotions_rejected": self.promotions_rejected,
+            "warmed_entries": self.warmed_entries,
             "total_states_expanded": self.total_states_expanded,
             "total_plans_scored": self.total_plans_scored,
             "hit_rate": self.hit_rate,
@@ -155,6 +168,12 @@ class ServiceMetrics:
         ]
         if self.deadline_exceeded_requests:
             lines.append(f"deadline_exceeded={self.deadline_exceeded_requests}")
+        if self.swaps or self.promotions_rejected or self.warmed_entries:
+            lines.append(
+                f"lifecycle swaps={self.swaps} "
+                f"promotions_rejected={self.promotions_rejected} "
+                f"warmed_entries={self.warmed_entries}"
+            )
         if self.scoring.forward_batches:
             lines.append(
                 f"scoring batches={self.scoring.forward_batches} "

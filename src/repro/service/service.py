@@ -35,9 +35,9 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, fields as dataclass_fields, replace
-from typing import Callable, Iterable, Union
+from typing import Callable, Hashable, Iterable, Union
 
-from repro.model.value_network import ValueNetwork
+from repro.model.value_network import StateDictMismatchError, ValueNetwork
 from repro.planning.adapters import BeamPlanner
 from repro.planning.envelope import AdmissionError, PlanRequest, PlanResult
 from repro.planning.protocol import Planner, planner_version
@@ -96,6 +96,27 @@ def _knobs_key(request: PlanRequest) -> tuple:
 
 class _BudgetDrained(Exception):
     """Internal: an admitted request's budget ran out before the backend ran."""
+
+
+class _NetworkHolder:
+    """Atomic holder for the serving value network.
+
+    The service resolves the serving network through this holder so a hot
+    swap is one reference assignment: requests admitted before the swap keep
+    the network they resolved (pinned per request), requests admitted after
+    resolve the replacement.  Until the first swap the holder defers to the
+    caller-supplied provider (e.g. an agent's ``lambda: self.value_network``).
+    """
+
+    __slots__ = ("provider", "override")
+
+    def __init__(self, provider: Callable[[], ValueNetwork | None]):
+        self.provider = provider
+        self.override: ValueNetwork | None = None
+
+    def get(self) -> ValueNetwork | None:
+        override = self.override
+        return override if override is not None else self.provider()
 
 
 class _Flight:
@@ -164,6 +185,11 @@ class PlannerService:
         # so bare ``network.predict`` is not thread-safe.  With the bridge off
         # and several workers, scoring serialises through this lock instead.
         self._predict_lock = threading.Lock()
+        # Guards the serving-network holder: a request's key computation and
+        # a concurrent hot swap never interleave mid-resolution.
+        self._swap_lock = threading.Lock()
+        self._beam_mode = beam_mode
+        self._holder: _NetworkHolder | None = None
         if beam_mode:
             if (network is None) == (network_provider is None):
                 raise ValueError("provide exactly one of network / network_provider")
@@ -172,7 +198,8 @@ class PlannerService:
                     "with a network the planner must be a BeamSearchPlanner; "
                     "to serve a protocol planner, pass it alone"
                 )
-            self.network_provider = network_provider or (lambda: network)
+            self._holder = _NetworkHolder(network_provider or (lambda: network))
+            self.network_provider = self._holder.get
             self.planner: BeamSearchPlanner | Planner = planner or BeamSearchPlanner()
             if coalesce_scoring and max_workers > 1:
                 self._bridge = BatchedScoringBridge(
@@ -314,6 +341,96 @@ class PlannerService:
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------ #
+    # Model lifecycle: hot swap and cache warming
+    # ------------------------------------------------------------------ #
+    def swap_network(self, network: ValueNetwork) -> Hashable:
+        """Atomically replace the serving value network (zero-downtime).
+
+        In-flight requests finish on the network they resolved at admission
+        (each request pins its network and version together); requests
+        admitted after this call plan with ``network``.  Cache keys embed the
+        network's version key, so entries roll over naturally — follow up
+        with :meth:`warm_cache` to put the known workload back on the warm
+        path.
+
+        Args:
+            network: The replacement network.  Must be featurised identically
+                to the current serving network.
+
+        Returns:
+            The new serving version key.
+
+        Raises:
+            RuntimeError: The service fronts a protocol planner (no network).
+            StateDictMismatchError: ``network`` featurises a different input
+                space than the current serving network.
+        """
+        self._check_open()
+        if self._holder is None:
+            raise RuntimeError(
+                "swap_network requires the beam backend; protocol planners "
+                "have no serving network to swap"
+            )
+        current = self.network_provider()
+        if current is not None and current.featurizer.signature() != (
+            network.featurizer.signature()
+        ):
+            raise StateDictMismatchError(
+                "cannot hot-swap a network featurised for a different input "
+                f"space: serving {current.featurizer.signature()!r}, "
+                f"candidate {network.featurizer.signature()!r}"
+            )
+        with self._swap_lock:
+            self._holder.override = network
+        with self._metrics_lock:
+            self._swaps += 1
+        return network.version_key()
+
+    def serving_network(self) -> ValueNetwork | None:
+        """The network new requests currently resolve (None for protocol mode)."""
+        if self._holder is None:
+            return None
+        with self._swap_lock:
+            return self.network_provider()
+
+    def warm_cache(self, requests: Iterable[RequestLike]) -> int:
+        """Replan ``requests`` so subsequent traffic hits the plan cache.
+
+        Run immediately after :meth:`swap_network` with the known workload:
+        every request that is not already memoised under the new serving
+        version plans now (through the normal concurrent path), so
+        steady-state traffic stays on the warm path across the swap.
+
+        Returns:
+            The number of fresh entries actually memoised (already-warm
+            requests are counted as hits, not re-planned; a search whose
+            result could not be stored — budget-truncated, or the serving
+            version moved again mid-warm — is not counted as warmed).
+        """
+        envelopes = [self._as_request(request) for request in requests]
+        responses = self.plan_many(envelopes)
+        warmed = 0
+        for envelope, response in zip(envelopes, responses):
+            stats = response.stats
+            if stats is None or stats.cache_hit or stats.coalesced:
+                continue
+            key: CacheKey = (
+                envelope.query.fingerprint(),
+                stats.model_version,
+                envelope.k,
+                _knobs_key(envelope),
+            )
+            warmed += int(self.cache.contains(key))
+        with self._metrics_lock:
+            self._warmed_entries += warmed
+        return warmed
+
+    def record_promotion_rejected(self) -> None:
+        """Count a candidate model the shadow gate refused to promote."""
+        with self._metrics_lock:
+            self._promotions_rejected += 1
+
+    # ------------------------------------------------------------------ #
     # Metrics
     # ------------------------------------------------------------------ #
     def metrics(self) -> ServiceMetrics:
@@ -329,6 +446,9 @@ class PlannerService:
                 coalesced_requests=self._coalesced,
                 rejected_requests=self._rejected,
                 deadline_exceeded_requests=self._deadline_exceeded,
+                swaps=self._swaps,
+                promotions_rejected=self._promotions_rejected,
+                warmed_entries=self._warmed_entries,
                 total_states_expanded=self._states_expanded,
                 total_plans_scored=self._plans_scored,
                 total_queue_wait_seconds=self._total_queue_wait,
@@ -359,6 +479,9 @@ class PlannerService:
         self._coalesced = 0
         self._rejected = 0
         self._deadline_exceeded = 0
+        self._swaps = 0
+        self._promotions_rejected = 0
+        self._warmed_entries = 0
         self._states_expanded = 0
         self._plans_scored = 0
         self._total_queue_wait = 0.0
@@ -467,9 +590,18 @@ class PlannerService:
     def _serve(self, request: PlanRequest, submitted_at: float) -> ServiceResponse:
         started = time.perf_counter()
         queue_wait = max(started - submitted_at, 0.0)
+        # Resolve the serving backend ONCE per request: the cache-key version
+        # and the network the request plans with come from the same snapshot,
+        # so a hot swap (or an in-place retrain bumping the version) that
+        # interleaves with this request can never produce an entry keyed to
+        # one version but scored by another.
+        pinned = self._resolve_network()
+        version = (
+            pinned.version_key() if pinned is not None else planner_version(self.backend)
+        )
         key: CacheKey = (
             request.query.fingerprint(),
-            planner_version(self.backend),
+            version,
             request.k,
             _knobs_key(request),
         )
@@ -529,7 +661,7 @@ class PlannerService:
         ran_backend = True
         try:
             try:
-                result = self._backend_plan(request, deadline)
+                result = self._backend_plan(request, deadline, pinned)
             except _BudgetDrained:
                 result, ran_backend = self._truncated_result(), False
             except AdmissionError as error:
@@ -541,8 +673,17 @@ class PlannerService:
                 result, ran_backend = self._truncated_result(), False
             # Budget-truncated results are valid responses but poor cache
             # entries (an unconstrained request must not inherit them), and
-            # stochastic planners mark their draws non-cacheable.
-            if result.cacheable and not result.deadline_exceeded:
+            # stochastic planners mark their draws non-cacheable.  The version
+            # recheck closes the stale-cache window: if the serving version
+            # moved while this search ran (hot swap, or an in-place weight
+            # mutation + bump_version), the entry's provenance is ambiguous
+            # and it must not be memoised — a later request whose key matches
+            # ours could otherwise be served plans scored by other weights.
+            if (
+                result.cacheable
+                and not result.deadline_exceeded
+                and self._version_current(version)
+            ):
                 self.cache.store(key, result)
             flight.result = result
         except BaseException as error:
@@ -562,17 +703,65 @@ class PlannerService:
             expired=not ran_backend,
         )
 
-    def _backend_plan(self, request: PlanRequest, deadline: float | None) -> PlanResult:
-        """Run the backend with the *remaining* planning budget."""
+    def _backend_plan(
+        self,
+        request: PlanRequest,
+        deadline: float | None,
+        pinned: ValueNetwork | None = None,
+    ) -> PlanResult:
+        """Run the backend with the *remaining* planning budget.
+
+        ``pinned`` is the network the request resolved at key-computation
+        time; beam-mode requests plan against it (not the live provider), so
+        in-flight searches finish on their admitted version across a swap.
+        """
         if deadline is not None:
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
                 raise _BudgetDrained()
             request = replace(request, deadline_seconds=remaining)
+        backend = self.backend if pinned is None else self._pinned_backend(pinned)
         if self._serialize_backend:
             with self._backend_lock:
-                return self.backend.plan(request)
-        return self.backend.plan(request)
+                return backend.plan(request)
+        return backend.plan(request)
+
+    def _resolve_network(self) -> ValueNetwork | None:
+        """The serving network for one request (None in protocol mode).
+
+        Resolution happens under the swap lock (via :meth:`serving_network`)
+        so a request never observes a half-applied swap; beam-mode requests
+        without a network yet fail the same way the adapter would.
+        """
+        if not self._beam_mode:
+            return None
+        network = self.serving_network()
+        if network is None:
+            raise RuntimeError("planner service has no value network yet")
+        return network
+
+    def _version_current(self, version: object) -> bool:
+        """Whether the serving backend still reports ``version``."""
+        try:
+            if self._beam_mode:
+                current = self.serving_network()
+                return current is not None and current.version_key() == version
+            return planner_version(self.backend) == version
+        except RuntimeError:
+            return False
+
+    def _pinned_backend(self, network: ValueNetwork) -> Planner:
+        """A beam backend bound to ``network`` for the span of one request."""
+        if self._bridge is not None:
+            def score_fn(query: Query, plans: list[PlanNode]):
+                return self._bridge.score(query, plans, network=network)
+        elif self.max_workers > 1:
+            def score_fn(query: Query, plans: list[PlanNode]):
+                with self._predict_lock:
+                    return network.predict(query, plans)
+        else:
+            score_fn = None
+        return BeamPlanner(network=network, planner=self.planner, score_fn=score_fn)
 
     def _truncated_result(self) -> PlanResult:
         """An empty budget-truncated result (deadline drained before planning)."""

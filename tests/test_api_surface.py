@@ -17,6 +17,7 @@ EXPECTED_API = sorted(
     [
         "AdmissionError",
         "AgentPlanner",
+        "BackgroundTrainer",
         "BalsaAgent",
         "BalsaConfig",
         "BalsaEnvironment",
@@ -24,6 +25,10 @@ EXPECTED_API = sorted(
         "BeamPlanner",
         "BeamSearchPlanner",
         "ExperimentScale",
+        "LifecycleError",
+        "ModelLifecycle",
+        "ModelRegistry",
+        "ModelSnapshot",
         "NeoAgent",
         "Planner",
         "PlannerRegistry",
@@ -31,9 +36,12 @@ EXPECTED_API = sorted(
         "PlanningError",
         "PlanRequest",
         "PlanResult",
+        "PromotionDecision",
         "RandomPlanner",
         "ServiceMetrics",
         "ServiceResponse",
+        "ShadowEvaluator",
+        "StateDictMismatchError",
         "UnknownPlannerError",
         "WorkloadBenchmark",
         "make_job_benchmark",
@@ -82,3 +90,16 @@ def test_service_reexports_admission_error():
     from repro.service import AdmissionError as ServiceAdmissionError
 
     assert ServiceAdmissionError is planning.AdmissionError
+
+
+def test_lifecycle_surface_reexported():
+    import repro.lifecycle as lifecycle
+
+    for name in lifecycle.__all__:
+        assert getattr(lifecycle, name, None) is not None, (
+            f"repro.lifecycle.{name} does not resolve"
+        )
+    assert api.ModelRegistry is lifecycle.ModelRegistry
+    assert api.BackgroundTrainer is lifecycle.BackgroundTrainer
+    assert api.ShadowEvaluator is lifecycle.ShadowEvaluator
+    assert api.PromotionDecision is lifecycle.PromotionDecision
