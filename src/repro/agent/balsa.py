@@ -102,6 +102,11 @@ class BalsaAgent:
             max_workers=self.config.planner_workers,
             cache_capacity=self.config.plan_cache_capacity,
             coalesce_scoring=self.config.coalesce_scoring,
+            scoring_backend=(
+                None
+                if self.config.scoring_backend == "auto"
+                else self.config.scoring_backend
+            ),
         )
         self.cluster = ExecutionCluster(num_nodes=self.config.num_execution_nodes)
         self.history = TrainingHistory()

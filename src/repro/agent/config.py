@@ -56,8 +56,13 @@ class BalsaConfig:
         plan_cache_capacity: Entries in the cross-query plan cache fronting
             beam search (0 disables it).
         coalesce_scoring: Let concurrent searches share value-network forward
-            passes through the batched scoring bridge (only engaged when
-            ``planner_workers > 1``).
+            passes through the threaded batching backend (only engaged when
+            ``planner_workers > 1`` and ``scoring_backend`` is ``"auto"``).
+        scoring_backend: Which :class:`~repro.scoring.protocol.ScoringBackend`
+            the planner service scores through: ``"auto"`` (the historical
+            mapping from ``coalesce_scoring``), ``"inproc"``, ``"threaded"``,
+            or ``"process"`` (a pool of scorer processes loading published
+            model snapshots — breaks the GIL bound on concurrent planning).
         background_training: Delegate value-network updates to the lifecycle
             subsystem's :class:`~repro.lifecycle.trainer.BackgroundTrainer`:
             iteration k+1's planning and execution overlap iteration k's
@@ -111,6 +116,7 @@ class BalsaConfig:
     planner_workers: int = 1
     plan_cache_capacity: int = 4096
     coalesce_scoring: bool = True
+    scoring_backend: str = "auto"
 
     # Model lifecycle (background fine-tuning with hot swap).
     background_training: bool = False

@@ -53,6 +53,14 @@ from repro.planning.envelope import (
 )
 from repro.planning.protocol import Planner, planner_version
 from repro.planning.registry import PlannerRegistry
+from repro.scoring import (
+    InProcessBackend,
+    ProcessPoolBackend,
+    ScoringBackend,
+    ScoringBackendError,
+    ThreadedBatchingBackend,
+    make_scoring_backend,
+)
 from repro.search.beam import BeamSearchPlanner
 from repro.service.metrics import ServiceMetrics
 from repro.service.service import PlannerService, ServiceResponse
@@ -73,6 +81,7 @@ __all__ = [
     "BeamPlanner",
     "BeamSearchPlanner",
     "ExperimentScale",
+    "InProcessBackend",
     "LifecycleError",
     "ModelLifecycle",
     "ModelRegistry",
@@ -84,15 +93,20 @@ __all__ = [
     "PlanningError",
     "PlanRequest",
     "PlanResult",
+    "ProcessPoolBackend",
     "PromotionDecision",
     "RandomPlanner",
+    "ScoringBackend",
+    "ScoringBackendError",
     "ServiceMetrics",
     "ServiceResponse",
     "ShadowEvaluator",
     "StateDictMismatchError",
+    "ThreadedBatchingBackend",
     "UnknownPlannerError",
     "WorkloadBenchmark",
     "make_job_benchmark",
+    "make_scoring_backend",
     "make_tpch_benchmark",
     "merge_agent_experiences",
     "planner_version",

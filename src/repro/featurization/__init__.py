@@ -17,11 +17,20 @@ and inference.
 
 from repro.featurization.query_encoder import QueryEncoder
 from repro.featurization.plan_encoder import PlanEncoder
-from repro.featurization.featurizer import FeaturizedExample, QueryPlanFeaturizer
+from repro.featurization.featurizer import (
+    FeaturizedExample,
+    QueryPlanFeaturizer,
+    SignatureFeaturizer,
+    batch_examples,
+    canonical_signature,
+)
 
 __all__ = [
     "QueryEncoder",
     "PlanEncoder",
     "FeaturizedExample",
     "QueryPlanFeaturizer",
+    "SignatureFeaturizer",
+    "batch_examples",
+    "canonical_signature",
 ]

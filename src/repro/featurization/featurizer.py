@@ -29,6 +29,101 @@ class FeaturizedExample:
     plan: FlattenedPlan
 
 
+def canonical_signature(signature: Sequence) -> tuple:
+    """Deep-tuple a featuriser signature for order-insensitive comparison.
+
+    Signatures survive JSON round trips (snapshot persistence, wire formats)
+    where tuples come back as lists; comparing canonical forms keeps a
+    persisted checkpoint loadable into the featurisation that produced it.
+    """
+    return tuple(
+        canonical_signature(item) if isinstance(item, (list, tuple)) else item
+        for item in signature
+    )
+
+
+def batch_examples(
+    examples: Sequence[FeaturizedExample],
+    query_dimension: int,
+    plan_node_dimension: int,
+) -> tuple[np.ndarray, TreeBatch]:
+    """Pad and stack featurised examples into value-network inputs.
+
+    A module-level function (rather than a featuriser method) so scoring
+    backends that never see the schema — e.g. a scorer process restored from
+    a snapshot's ``featurizer_signature`` — can batch shipped examples from
+    the two dimensionalities alone.
+
+    Args:
+        examples: Featurised (query, plan) pairs.
+        query_dimension: Width of one query encoding.
+        plan_node_dimension: Width of one plan-node feature vector.
+
+    Returns:
+        ``(query_batch, tree_batch)`` where ``query_batch`` has shape
+        ``(batch, query_dim)`` and ``tree_batch`` holds the padded plan
+        node tables.
+    """
+    if not examples:
+        raise ValueError("cannot batch zero examples")
+    batch_size = len(examples)
+    max_slots = max(example.plan.features.shape[0] for example in examples)
+    features = np.zeros((batch_size, max_slots, plan_node_dimension), dtype=np.float64)
+    left = np.zeros((batch_size, max_slots), dtype=np.int64)
+    right = np.zeros((batch_size, max_slots), dtype=np.int64)
+    valid = np.zeros((batch_size, max_slots), dtype=bool)
+    queries = np.zeros((batch_size, query_dimension), dtype=np.float64)
+    for i, example in enumerate(examples):
+        slots = example.plan.features.shape[0]
+        features[i, :slots] = example.plan.features
+        left[i, :slots] = example.plan.left
+        right[i, :slots] = example.plan.right
+        valid[i, 1 : example.plan.num_nodes + 1] = True
+        queries[i] = example.query_encoding
+    return queries, TreeBatch(features=features, left=left, right=right, valid=valid)
+
+
+class SignatureFeaturizer:
+    """A dimension-only stand-in built from a featuriser signature.
+
+    Carries exactly what inference needs — the two input dimensionalities and
+    the signature itself — so a :class:`~repro.model.value_network.ValueNetwork`
+    can be restored from a persisted checkpoint in a process that has no
+    schema, estimator or database (the scorer processes of the process-based
+    scoring backend).  It cannot *featurise*: under the stateless scoring
+    contract, featurisation already happened in the submitting worker and
+    only :class:`FeaturizedExample` payloads cross the process boundary.
+    """
+
+    def __init__(self, signature: Sequence):
+        self._signature = canonical_signature(signature)
+        try:
+            self.query_dimension = int(self._signature[-2])
+            self.plan_node_dimension = int(self._signature[-1])
+        except (IndexError, TypeError, ValueError):
+            raise ValueError(
+                f"not a featurizer signature (expected trailing dimensions): "
+                f"{signature!r}"
+            ) from None
+
+    def signature(self) -> tuple:
+        """The canonical signature this stand-in was built from."""
+        return self._signature
+
+    def featurize(self, query: Query, plan: PlanNode) -> FeaturizedExample:
+        """Unsupported: a signature carries dimensions, not encoders."""
+        raise TypeError(
+            "SignatureFeaturizer cannot featurize: featurisation happens in "
+            "the submitting worker; ship FeaturizedExample payloads instead"
+        )
+
+    def batch(
+        self, examples: Sequence[FeaturizedExample]
+    ) -> tuple[np.ndarray, TreeBatch]:
+        """Pad and stack featurised examples (see :func:`batch_examples`)."""
+        return batch_examples(examples, self.query_dimension, self.plan_node_dimension)
+
+
 class QueryPlanFeaturizer:
     """Featurises (query, plan) pairs and batches them for the value network.
 
@@ -99,21 +194,4 @@ class QueryPlanFeaturizer:
             ``(batch, query_dim)`` and ``tree_batch`` holds the padded plan
             node tables.
         """
-        if not examples:
-            raise ValueError("cannot batch zero examples")
-        batch_size = len(examples)
-        max_slots = max(example.plan.features.shape[0] for example in examples)
-        node_dim = self.plan_node_dimension
-        features = np.zeros((batch_size, max_slots, node_dim), dtype=np.float64)
-        left = np.zeros((batch_size, max_slots), dtype=np.int64)
-        right = np.zeros((batch_size, max_slots), dtype=np.int64)
-        valid = np.zeros((batch_size, max_slots), dtype=bool)
-        queries = np.zeros((batch_size, self.query_dimension), dtype=np.float64)
-        for i, example in enumerate(examples):
-            slots = example.plan.features.shape[0]
-            features[i, :slots] = example.plan.features
-            left[i, :slots] = example.plan.left
-            right[i, :slots] = example.plan.right
-            valid[i, 1 : example.plan.num_nodes + 1] = True
-            queries[i] = example.query_encoding
-        return queries, TreeBatch(features=features, left=left, right=right, valid=valid)
+        return batch_examples(examples, self.query_dimension, self.plan_node_dimension)

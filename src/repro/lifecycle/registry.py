@@ -15,7 +15,9 @@ they like.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Iterable
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.featurization.featurizer import QueryPlanFeaturizer
 from repro.lifecycle.snapshot import LifecycleError, ModelSnapshot
@@ -33,17 +35,30 @@ class ModelRegistry:
             snapshots are evicted — except the serving version and the
             versions on the current rollback chain, which are always
             retained.  ``0`` disables eviction.
+        persist_dir: Optional directory the registry mirrors the serving
+            chain into: every promotion (and rollback) writes the newly
+            serving snapshot as ``model-v<version>.npz`` via
+            :meth:`ModelSnapshot.save`, so external consumers — most notably
+            the process-based scoring backend's scorer processes — load
+            weights from files instead of sharing live objects.
     """
 
-    def __init__(self, retention: int = 16):
+    def __init__(self, retention: int = 16, persist_dir: str | Path | None = None):
         if retention < 0:
             raise ValueError("retention must be >= 0 (0 disables eviction)")
         self.retention = retention
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
         self._snapshots: dict[int, ModelSnapshot] = {}
         self._next_version = 1
         self._serving_history: list[int] = []
         self._decisions: list["PromotionDecision"] = []
+        self._listeners: list[Callable[[ModelSnapshot], None]] = []
         self._lock = threading.RLock()
+        # Serialises listener notification so concurrent promote/rollback
+        # calls can never deliver serving-pointer changes out of order.
+        self._notify_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Registration and lookup
@@ -130,13 +145,28 @@ class ModelRegistry:
             return self.get(version)
 
     def promote(self, version: int) -> ModelSnapshot:
-        """Mark ``version`` as serving (it must be registered)."""
+        """Mark ``version`` as serving (it must be registered).
+
+        With ``persist_dir`` set, the snapshot is written to disk *before*
+        the serving pointer moves, so a persistence failure (full disk,
+        permissions) fails the promotion cleanly instead of leaving a
+        serving version that was never persisted.  Subscribed listeners
+        (scoring backends following this registry) are then notified outside
+        the lock.
+        """
         with self._lock:
             snapshot = self.get(version)
+        if self.persist_dir is not None:
+            path = self.snapshot_path(snapshot.version)
+            if not path.exists():
+                snapshot.save(path)
+        with self._lock:
+            snapshot = self.get(version)  # still registered after the I/O
             if self.serving_version != version:
                 self._serving_history.append(version)
             self._evict_locked()
-            return snapshot
+        self._serving_changed()
+        return snapshot
 
     def rollback(self) -> ModelSnapshot:
         """Revert the serving pointer to the previously serving version.
@@ -154,7 +184,72 @@ class ModelRegistry:
                     "nothing to roll back to: fewer than two promotions recorded"
                 )
             self._serving_history.pop()
-            return self.get(self._serving_history[-1])
+            snapshot = self.get(self._serving_history[-1])
+        self._serving_changed()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Serving-change notification and persistence
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener: Callable[[ModelSnapshot], None]) -> None:
+        """Call ``listener(snapshot)`` whenever the serving pointer moves.
+
+        Promotions *and* rollbacks notify (both change what "serving" means).
+        Listeners run outside the registry lock, on the promoting thread;
+        notification is advisory — a listener that raises is reported as a
+        :class:`RuntimeWarning`, never unwinds an already-applied promotion.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[ModelSnapshot], None]) -> None:
+        """Stop notifying ``listener`` (unknown listeners are ignored)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def snapshot_path(self, version: int) -> Path:
+        """Where ``version`` is (or would be) persisted on disk."""
+        if self.persist_dir is None:
+            raise LifecycleError("registry has no persist_dir configured")
+        return self.persist_dir / f"model-v{version}.npz"
+
+    def _serving_changed(self) -> None:
+        # Re-read the serving pointer under the notify lock rather than
+        # trusting the triggering call's snapshot: when promote/rollback race,
+        # whichever notification runs last must describe the registry's final
+        # state, never a stale intermediate one.  The pointer has already
+        # moved by the time this runs, so nothing here may raise.
+        with self._notify_lock:
+            with self._lock:
+                version = self.serving_version
+                if version is None:
+                    return
+                snapshot = self.get(version)
+                listeners = list(self._listeners)
+            if self.persist_dir is not None:
+                try:
+                    path = self.snapshot_path(snapshot.version)
+                    if not path.exists():
+                        snapshot.save(path)
+                except OSError as error:
+                    warnings.warn(
+                        f"could not persist serving snapshot v{snapshot.version}: "
+                        f"{error}",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+            for listener in listeners:
+                try:
+                    listener(snapshot)
+                except Exception as error:  # noqa: BLE001 - advisory path
+                    warnings.warn(
+                        f"serving-change listener {listener!r} raised: {error}",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
 
     # ------------------------------------------------------------------ #
     # Audit trail

@@ -17,12 +17,14 @@ silently mis-loading.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro.featurization.featurizer import QueryPlanFeaturizer
+from repro.featurization.featurizer import QueryPlanFeaturizer, canonical_signature
 from repro.model.value_network import ValueNetwork, ValueNetworkConfig
 
 
@@ -115,4 +117,76 @@ class ModelSnapshot:
             source=source,
             parent_version=parent_version,
             tag=tag,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Disk persistence (numpy savez; no pickling)
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Write this snapshot to ``path`` as a pickle-free ``.npz`` archive.
+
+        Weight arrays are stored as plain npz members; everything else
+        (architecture config, featuriser signature, provenance) travels as a
+        JSON header, so :meth:`load` round-trips without ``allow_pickle`` —
+        the format a process-based scoring server can safely read.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps(
+            {
+                "format": self.state.get("format", "value-network-v1"),
+                "config": self.state.get("config"),
+                "featurizer_signature": self.state.get("featurizer_signature"),
+                "label_mean": self.state.get("label_mean", 0.0),
+                "label_std": self.state.get("label_std", 1.0),
+                "version": self.version,
+                "source": self.source,
+                "parent_version": self.parent_version,
+                "created_at": self.created_at,
+                "tag": self.tag,
+            }
+        )
+        arrays = {
+            f"weights::{name}": values for name, values in self.state["weights"].items()
+        }
+        # Write-then-rename so a crashed writer never leaves a torn snapshot
+        # where a scorer process expects a loadable one.
+        partial = path.with_name(path.name + ".partial")
+        with open(partial, "wb") as handle:
+            np.savez(handle, __header__=np.array(header), **arrays)
+        partial.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelSnapshot":
+        """Read a snapshot written by :meth:`save` (no pickling involved)."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            if "__header__" not in archive:
+                raise LifecycleError(f"{path}: not a model snapshot archive")
+            header = json.loads(str(archive["__header__"]))
+            weights = {
+                name[len("weights::") :]: archive[name]
+                for name in archive.files
+                if name.startswith("weights::")
+            }
+        signature = header.get("featurizer_signature")
+        state = _frozen_state(
+            {
+                "format": header.get("format", "value-network-v1"),
+                "weights": weights,
+                "label_mean": float(header.get("label_mean", 0.0)),
+                "label_std": float(header.get("label_std", 1.0)),
+                "config": header.get("config"),
+                "featurizer_signature": (
+                    canonical_signature(signature) if signature is not None else None
+                ),
+            }
+        )
+        return cls(
+            version=int(header.get("version", 0)),
+            state=state,
+            source=str(header.get("source", "")),
+            parent_version=header.get("parent_version"),
+            created_at=float(header.get("created_at", 0.0)),
+            tag=str(header.get("tag", "")),
         )

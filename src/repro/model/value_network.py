@@ -22,7 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.featurization.featurizer import FeaturizedExample, QueryPlanFeaturizer
+from repro.featurization.featurizer import (
+    FeaturizedExample,
+    QueryPlanFeaturizer,
+    SignatureFeaturizer,
+    canonical_signature,
+)
 from repro.nn.layers import Linear, Parameter, ReLU
 from repro.nn.tree_conv import DynamicMaxPool, TreeBatch, TreeConvLayer
 from repro.plans.nodes import PlanNode
@@ -61,6 +66,22 @@ class ValueNetworkConfig:
     tree_channels: tuple[int, ...] = (64, 64, 32)
     head_hidden: int = 32
     seed: int = 0
+
+
+def _config_from_state(state: dict) -> "ValueNetworkConfig | None":
+    """Reconstruct the architecture config a state dict was captured with.
+
+    ``tree_channels`` survives JSON/npz round trips as a list; the config
+    dataclass expects a tuple.  Returns ``None`` (caller defaults) when the
+    state dict predates config capture.
+    """
+    config = state.get("config")
+    if config is None:
+        return None
+    config = dict(config)
+    if "tree_channels" in config:
+        config["tree_channels"] = tuple(config["tree_channels"])
+    return ValueNetworkConfig(**config)
 
 
 @dataclass
@@ -210,11 +231,14 @@ class ValueNetwork:
                 "use set_state() for flat weight mappings"
             )
         recorded = state.get("featurizer_signature")
-        current = self.featurizer.signature()
-        if recorded is not None and tuple(recorded) != current:
+        current = canonical_signature(self.featurizer.signature())
+        # Canonical (deep-tuple) comparison: signatures that crossed a JSON
+        # or npz boundary come back with lists where tuples were.
+        if recorded is not None and canonical_signature(recorded) != current:
             raise StateDictMismatchError(
                 f"featurizer mismatch: checkpoint was trained against "
-                f"{tuple(recorded)!r}, this network featurises {current!r}"
+                f"{canonical_signature(recorded)!r}, this network featurises "
+                f"{current!r}"
             )
         weights = state["weights"]
         by_name = {p.name: p for p in self.parameters()}
@@ -238,6 +262,55 @@ class ValueNetwork:
         self.label_mean = float(state.get("label_mean", 0.0))
         self.label_std = float(state.get("label_std", 1.0))
         self.bump_version()
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: dict,
+        featurizer: "QueryPlanFeaturizer | SignatureFeaturizer | None" = None,
+    ) -> "ValueNetwork":
+        """Materialise a network purely from a :meth:`state_dict` payload.
+
+        This is the stateless restore contract the scoring backends build on:
+        when ``featurizer`` is omitted, a
+        :class:`~repro.featurization.featurizer.SignatureFeaturizer` is
+        derived from the checkpoint's own ``featurizer_signature``, so a
+        scorer process can reconstruct the network from the checkpoint alone
+        — no schema, estimator or live objects required.  Networks restored
+        this way can :meth:`predict_examples` (featurisation happened in the
+        submitting worker) but not :meth:`predict` raw plans.
+
+        Raises:
+            StateDictMismatchError: The payload is not a self-describing
+                state dict, or (with ``featurizer`` given) does not match it.
+        """
+        if not isinstance(state, dict) or "weights" not in state:
+            raise StateDictMismatchError(
+                "not a value-network state dict (missing 'weights')"
+            )
+        if featurizer is None:
+            signature = state.get("featurizer_signature")
+            if signature is None:
+                raise StateDictMismatchError(
+                    "state dict carries no featurizer_signature; pass a "
+                    "featurizer explicitly to restore it"
+                )
+            featurizer = SignatureFeaturizer(signature)
+        network = cls(featurizer, _config_from_state(state))
+        network.load_state_dict(state)
+        return network
+
+    @classmethod
+    def predict_from_state(
+        cls, state: dict, examples: list[FeaturizedExample]
+    ) -> np.ndarray:
+        """Predict raw-unit values for ``examples`` straight from a checkpoint.
+
+        One-shot form of :meth:`from_state_dict` + :meth:`predict_examples`;
+        long-lived scorers should cache the restored network per version
+        instead of paying the restore on every batch.
+        """
+        return cls.from_state_dict(state).predict_examples(examples)
 
     def bump_version(self) -> None:
         """Mark the weights as changed.

@@ -1,0 +1,115 @@
+"""Pluggable scoring backends: the path from beam search to forward passes.
+
+Everything between ``BeamSearchPlanner.search(score_fn=...)`` and
+``ValueNetwork.predict_examples`` lives in this package, behind one
+:class:`~repro.scoring.protocol.ScoringBackend` protocol
+(``submit(query, plans, version) -> ndarray``, ``follow(registry)``,
+``stats()``, ``close()``) with three implementations:
+
+- :class:`~repro.scoring.inproc.InProcessBackend` — forward passes on the
+  calling thread (the GIL-bound baseline, and the serving layer's fallback
+  when another backend fails);
+- :class:`~repro.scoring.threaded.ThreadedBatchingBackend` — one scoring
+  thread coalescing the frontiers of concurrent searches into larger forward
+  passes (the historical ``BatchedScoringBridge``, recomposed: featurisation
+  now happens in the submitting workers);
+- :class:`~repro.scoring.process.ProcessPoolBackend` — N scorer processes
+  restoring published :class:`~repro.lifecycle.snapshot.ModelSnapshot` files
+  via the stateless ``ValueNetwork.from_state_dict`` contract, fed by the
+  pickle-free :mod:`~repro.scoring.wire` payload format.  Breaks the GIL
+  bound; hot swaps propagate by version token, never as live objects.
+
+Every backend pins requests to a model version, and two versions are never
+mixed into one forward pass — the invariant the model-lifecycle hot swap
+relies on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.scoring.inproc import InProcessBackend
+from repro.scoring.process import ProcessPoolBackend
+from repro.scoring.protocol import (
+    ScoringBackend,
+    ScoringBackendError,
+    ScoringBridgeStats,
+    ScoringStats,
+    VersionPin,
+)
+from repro.scoring.threaded import ThreadedBatchingBackend
+from repro.scoring.wire import pack_examples, unpack_examples
+
+if TYPE_CHECKING:
+    from repro.model.value_network import ValueNetwork
+
+#: The names ``make_scoring_backend`` (and ``BalsaConfig.scoring_backend``)
+#: accept.
+BACKEND_NAMES = ("inproc", "threaded", "process")
+
+
+def make_scoring_backend(
+    name: str,
+    network_provider: "Callable[[], ValueNetwork | None] | None" = None,
+    *,
+    featurizer=None,
+    num_workers: int = 2,
+    max_batch_size: int = 512,
+    coalesce_wait_seconds: float = 0.001,
+    **kwargs,
+) -> ScoringBackend:
+    """Build a scoring backend by name.
+
+    Args:
+        name: One of ``"inproc"``, ``"threaded"``, ``"process"``.
+        network_provider: Source of the current network for unpinned
+            requests.
+        featurizer: Featuriser for the submitting side (required by the
+            process backend unless every request pins a live network).
+        num_workers: Scorer processes (process backend only).
+        max_batch_size: Forward-pass size cap.
+        coalesce_wait_seconds: Straggler window (threaded backend only).
+        **kwargs: Forwarded to the backend constructor.
+    """
+    if name == "inproc":
+        return InProcessBackend(
+            network_provider,
+            featurizer=featurizer,
+            max_batch_size=max_batch_size,
+            **kwargs,
+        )
+    if name == "threaded":
+        return ThreadedBatchingBackend(
+            network_provider,
+            featurizer=featurizer,
+            max_batch_size=max_batch_size,
+            coalesce_wait_seconds=coalesce_wait_seconds,
+            **kwargs,
+        )
+    if name == "process":
+        return ProcessPoolBackend(
+            featurizer,
+            network_provider=network_provider,
+            num_workers=num_workers,
+            max_batch_size=max_batch_size,
+            **kwargs,
+        )
+    raise ValueError(
+        f"unknown scoring backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "InProcessBackend",
+    "ProcessPoolBackend",
+    "ScoringBackend",
+    "ScoringBackendError",
+    "ScoringBridgeStats",
+    "ScoringStats",
+    "ThreadedBatchingBackend",
+    "VersionPin",
+    "make_scoring_backend",
+    "pack_examples",
+    "unpack_examples",
+]

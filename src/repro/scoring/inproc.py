@@ -1,0 +1,83 @@
+"""In-process scoring: forward passes on the calling thread.
+
+The baseline backend, and the fallback target when fancier ones fail.  Each
+``submit`` featurises on the calling thread and runs the (chunked) forward
+pass under one predict lock — concurrency across searches is limited by the
+GIL and the lock, which is exactly the pre-refactor single-process behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.model.value_network import ValueNetwork
+from repro.plans.nodes import PlanNode
+from repro.scoring.core import NetworkResolver, ScoringCore
+from repro.scoring.protocol import ScoringBridgeStats, VersionPin
+from repro.sql.query import Query
+
+if TYPE_CHECKING:
+    from repro.lifecycle.registry import ModelRegistry
+
+
+class InProcessBackend:
+    """Synchronous scoring on the calling thread (the GIL-bound baseline).
+
+    Args:
+        network_provider: Zero-argument callable returning the current
+            network (used for unpinned requests when no registry is
+            followed).
+        registry: Optional :class:`ModelRegistry` to resolve integer version
+            pins against (equivalent to calling :meth:`follow`).
+        featurizer: Featuriser for restoring registry snapshots and for
+            featurising requests scored by signature-restored networks.
+        max_batch_size: Forward-pass size cap (larger inputs are chunked).
+    """
+
+    def __init__(
+        self,
+        network_provider: Callable[[], "ValueNetwork | None"] | None = None,
+        *,
+        registry: "ModelRegistry | None" = None,
+        featurizer=None,
+        max_batch_size: int = 512,
+    ):
+        self._resolver = NetworkResolver(network_provider, registry, featurizer)
+        self._core = ScoringCore(max_batch_size)
+        # Bare predict stashes per-call activations on shared layer objects;
+        # one lock serialises forward passes across submitting threads.
+        self._predict_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._core.max_batch_size
+
+    def submit(
+        self, query: Query, plans: list[PlanNode], version: VersionPin = None
+    ) -> np.ndarray:
+        """Score ``plans`` for ``query`` on the calling thread."""
+        if self._closed:
+            raise RuntimeError("scoring backend is closed")
+        if not plans:
+            return np.zeros(0, dtype=np.float64)
+        network = self._resolver.resolve(version)
+        featurizer = self._resolver.featurizer or network.featurizer
+        examples = [featurizer.featurize(query, plan) for plan in plans]
+        with self._predict_lock:
+            return self._core.predict_examples(network, examples)
+
+    def follow(self, registry: "ModelRegistry") -> None:
+        """Resolve version pins (and unpinned requests) against ``registry``."""
+        self._resolver.follow(registry)
+
+    def stats(self) -> ScoringBridgeStats:
+        """A snapshot of the batching counters."""
+        return self._core.snapshot()
+
+    def close(self) -> None:
+        """Mark the backend closed (no resources to release)."""
+        self._closed = True

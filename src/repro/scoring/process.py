@@ -1,0 +1,525 @@
+"""Process-based scoring: N scorer processes, snapshots on disk, no GIL.
+
+The in-process backends are bound by the GIL: concurrent beam searches
+serialise on the numpy forward pass no matter how many worker threads plan.
+:class:`ProcessPoolBackend` breaks that bound by running the forward passes
+in separate scorer processes:
+
+- **Weights travel as files, never as live objects.**  Each model version is
+  *published* once — captured as a :class:`~repro.lifecycle.snapshot.ModelSnapshot`
+  and written to a spool directory with :meth:`ModelSnapshot.save` — and
+  scorer processes restore it with
+  :meth:`~repro.model.value_network.ValueNetwork.from_state_dict` (a
+  signature-derived featuriser stand-in; no schema needed).  Hot swaps
+  propagate by version token: a request pinned to version N is scored by
+  version N's file no matter when the promotion landed, and two versions are
+  never mixed in one batch because every task carries exactly one token.
+- **Featurisation happens in the submitting worker.**  Only the pickle-free
+  :mod:`~repro.scoring.wire` payloads (raw numeric buffers) cross the
+  process boundary.
+- **Failures are typed, not hung.**  A scorer process that dies mid-batch
+  fails its in-flight requests with
+  :class:`~repro.scoring.protocol.ScoringBackendError`; the collector thread
+  notices the death, counts it, and routes subsequent requests to the
+  surviving workers (the serving layer falls back to in-process scoring when
+  failures persist).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import shutil
+import tempfile
+import threading
+import time
+from queue import Empty
+from typing import TYPE_CHECKING, Callable, Hashable
+
+import numpy as np
+
+from repro.model.value_network import ValueNetwork
+from repro.plans.nodes import PlanNode
+from repro.scoring.core import ScoringCore
+from repro.scoring.protocol import ScoringBackendError, ScoringBridgeStats, VersionPin
+from repro.scoring.wire import (
+    pack_examples,
+    pack_predictions,
+    unpack_examples,
+    unpack_predictions,
+)
+from repro.sql.query import Query
+
+if TYPE_CHECKING:
+    from repro.lifecycle.registry import ModelRegistry
+    from repro.lifecycle.snapshot import ModelSnapshot
+
+#: Test hook: a task pinned to this token makes the scorer process hard-exit
+#: mid-batch, simulating a crash.  Only reachable when the backend's
+#: ``_allow_crash_token`` flag is set (the failure-mode tests set it);
+#: ordinary submits reject every negative pin with a typed error.
+_CRASH_TOKEN = -0xDEAD
+
+#: Published snapshot files retained per backend.  Tokens are monotone and a
+#: pin only outlives its publication by one in-flight search, so a small
+#: window bounds spool-directory growth for promote-every-iteration loops.
+_SPOOL_RETENTION = 8
+
+
+def _snapshot_filename(token: int) -> str:
+    return f"model-v{token}.npz"
+
+
+def _scorer_main(
+    worker_id: int,
+    spool_dir: str,
+    task_queue,
+    result_queue,
+    max_batch_size: int,
+) -> None:
+    """One scorer process: load published snapshots, serve forward passes.
+
+    Tasks are ``(request_id, token, payload)`` tuples; replies are
+    ``(request_id, ok, data, chunk_sizes)`` where ``data`` is packed
+    predictions on success and the error text on failure.  ``None`` shuts
+    the worker down.
+    """
+    from repro.lifecycle.snapshot import ModelSnapshot
+
+    networks: dict[int, ValueNetwork] = {}
+    # Readiness handshake (request id 0 is never allocated to real requests):
+    # imports are done and the task loop is about to block on the queue.
+    result_queue.put((0, True, b"ready", (worker_id,)))
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        request_id, token, payload = task
+        if token == _CRASH_TOKEN:
+            os._exit(3)
+        try:
+            network = networks.get(token)
+            if network is None:
+                path = os.path.join(spool_dir, _snapshot_filename(token))
+                snapshot = ModelSnapshot.load(path)
+                network = ValueNetwork.from_state_dict(snapshot.state)
+                if len(networks) > 4:
+                    # Tokens are monotone; old versions stop being pinned
+                    # once their swap window closes.
+                    networks.clear()
+                networks[token] = network
+            examples = unpack_examples(payload)
+            outputs: list[np.ndarray] = []
+            chunk_sizes: list[int] = []
+            for start in range(0, len(examples), max_batch_size):
+                chunk = examples[start : start + max_batch_size]
+                outputs.append(network.predict_examples(chunk))
+                chunk_sizes.append(len(chunk))
+            predictions = (
+                np.concatenate(outputs) if outputs else np.zeros(0, dtype=np.float64)
+            )
+            result_queue.put(
+                (request_id, True, pack_predictions(predictions), tuple(chunk_sizes))
+            )
+        except BaseException as error:  # noqa: BLE001 - shipped to the caller
+            result_queue.put(
+                (request_id, False, f"{type(error).__name__}: {error}", ())
+            )
+
+
+class _PendingRequest:
+    """Parent-side state of one dispatched task."""
+
+    __slots__ = ("worker_index", "done", "ok", "data", "chunk_sizes")
+
+    def __init__(self, worker_index: int):
+        self.worker_index = worker_index
+        self.done = threading.Event()
+        self.ok = False
+        self.data: bytes | str = b""
+        self.chunk_sizes: tuple[int, ...] = ()
+
+
+class ProcessPoolBackend:
+    """Scoring server over N scorer processes following published snapshots.
+
+    Args:
+        featurizer: Featuriser used by the submitting side.  Optional when
+            every request is pinned to a live :class:`ValueNetwork` (its own
+            featuriser is used); required to score registry-version pins.
+        num_workers: Scorer processes to spawn.
+        network_provider: Source for unpinned requests when no registry is
+            followed (the provided network is published on first use).
+        spool_dir: Directory snapshots are published into (shared with the
+            workers).  A private temporary directory is created — and removed
+            on :meth:`close` — when omitted.
+        max_batch_size: Forward-pass size cap inside each scorer.
+        submit_timeout_seconds: How long one submit waits for its reply
+            before failing with :class:`ScoringBackendError`.
+        start_method: ``multiprocessing`` start method (default ``"spawn"``:
+            safe with the serving layer's threads; pass ``"fork"`` to trade
+            that safety for faster startup).
+    """
+
+    def __init__(
+        self,
+        featurizer=None,
+        *,
+        num_workers: int = 2,
+        network_provider: Callable[[], "ValueNetwork | None"] | None = None,
+        spool_dir: str | None = None,
+        max_batch_size: int = 512,
+        submit_timeout_seconds: float = 120.0,
+        start_method: str = "spawn",
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._featurizer = featurizer
+        self.network_provider = network_provider
+        self.submit_timeout_seconds = submit_timeout_seconds
+        self._core = ScoringCore(max_batch_size)
+        self._owns_spool = spool_dir is None
+        self._spool_dir = spool_dir or tempfile.mkdtemp(prefix="repro-scoring-")
+        os.makedirs(self._spool_dir, exist_ok=True)
+
+        self._registry: "ModelRegistry | None" = None
+        self._published: dict[Hashable, int] = {}
+        self._registry_tokens: dict[int, int] = {}
+        self._current_token: int | None = None
+        self._tokens = itertools.count(1)
+        self._publish_lock = threading.Lock()
+        self._allow_crash_token = False  # failure-mode tests only
+
+        self._lock = threading.Lock()
+        self._pending: dict[int, _PendingRequest] = {}
+        self._request_ids = itertools.count(1)
+        self._next_worker = 0
+        self._closed = False
+
+        context = multiprocessing.get_context(start_method)
+        self._result_queue = context.Queue()
+        self._task_queues = []
+        self._processes = []
+        for worker_id in range(num_workers):
+            task_queue = context.Queue()
+            process = context.Process(
+                target=_scorer_main,
+                args=(
+                    worker_id,
+                    self._spool_dir,
+                    task_queue,
+                    self._result_queue,
+                    max_batch_size,
+                ),
+                name=f"repro-scorer-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+        self._dead = [False] * num_workers
+        self._ready = [threading.Event() for _ in range(num_workers)]
+        self._collector = threading.Thread(
+            target=self._collect, name="scoring-collector", daemon=True
+        )
+        self._collector.start()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._processes)
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._core.max_batch_size
+
+    # ------------------------------------------------------------------ #
+    # Version publication
+    # ------------------------------------------------------------------ #
+    def publish(self, network: ValueNetwork) -> int:
+        """Publish ``network``'s current weights; returns their token.
+
+        Idempotent per :meth:`ValueNetwork.version_key`: the snapshot is
+        captured and written once, then reused for every request pinned to
+        the same weights.
+        """
+        from repro.lifecycle.snapshot import ModelSnapshot
+
+        key = network.version_key()
+        with self._publish_lock:
+            token = self._published.get(key)
+            if token is not None:
+                return token
+            token = next(self._tokens)
+            snapshot = ModelSnapshot.capture(network, token, source="published")
+            snapshot.save(os.path.join(self._spool_dir, _snapshot_filename(token)))
+            self._published[key] = token
+            self._core.count_published()
+            self._evict_spool_locked(token)
+            return token
+
+    def _publish_snapshot(self, snapshot: "ModelSnapshot") -> int:
+        """Publish a registry snapshot under a backend token."""
+        with self._publish_lock:
+            token = self._registry_tokens.get(snapshot.version)
+            if token is not None:
+                return token
+            token = next(self._tokens)
+            snapshot.save(os.path.join(self._spool_dir, _snapshot_filename(token)))
+            self._registry_tokens[snapshot.version] = token
+            self._core.count_published()
+            self._evict_spool_locked(token)
+            return token
+
+    def _evict_spool_locked(self, newest_token: int) -> None:
+        """Bound the spool: drop snapshot files older than the retention
+        window.  The currently serving token is always exempt (unpinned
+        traffic resolves to it between promotions); an *expired pin* to an
+        evicted token degrades to a typed error, the same path as any
+        unknown version — never silent mis-scoring."""
+        horizon = newest_token - _SPOOL_RETENTION
+        if horizon <= 0:
+            return
+        keep = {self._current_token}
+        self._published = {
+            key: token
+            for key, token in self._published.items()
+            if token > horizon or token in keep
+        }
+        self._registry_tokens = {
+            version: token
+            for version, token in self._registry_tokens.items()
+            if token > horizon or token in keep
+        }
+        for token in range(max(horizon - _SPOOL_RETENTION, 1), horizon + 1):
+            if token in keep:
+                continue
+            try:
+                os.unlink(os.path.join(self._spool_dir, _snapshot_filename(token)))
+            except OSError:
+                pass
+
+    def follow(self, registry: "ModelRegistry") -> None:
+        """Track ``registry``: promotions repoint unpinned requests.
+
+        Subscribes to the registry's serving-pointer changes; each newly
+        serving snapshot is published to the spool directory and becomes the
+        target of unpinned submits, keyed strictly by version — a promotion
+        never ships a live object into the scorer processes.  :meth:`close`
+        detaches the subscription.
+        """
+        self._registry = registry
+        registry.subscribe(self._on_serving_change)
+        if registry.serving_version is not None:
+            self._on_serving_change(registry.serving())
+
+    def _on_serving_change(self, snapshot: "ModelSnapshot") -> None:
+        if self._closed:
+            return
+        self._current_token = self._publish_snapshot(snapshot)
+
+    def _resolve_token(self, version: VersionPin) -> int:
+        if isinstance(version, ValueNetwork):
+            return self.publish(version)
+        if version is None:
+            if self._current_token is not None:
+                return self._current_token
+            if self.network_provider is not None:
+                network = self.network_provider()
+                if network is not None:
+                    return self.publish(network)
+            raise ScoringBackendError(
+                "no model to score with: nothing published, no provider, and "
+                "no followed registry with a serving version"
+            )
+        token = int(version)
+        if token < 0:
+            # Backend-internal tokens are positive; the only negative one is
+            # the crash hook, and it must be armed explicitly by a test.
+            if token == _CRASH_TOKEN and self._allow_crash_token:
+                return token
+            raise ScoringBackendError(f"cannot resolve model version {token}")
+        if self._registry is None:
+            raise ScoringBackendError(
+                f"cannot resolve registry version {token}: backend is not "
+                "following a ModelRegistry (call follow() first)"
+            )
+        from repro.lifecycle.snapshot import LifecycleError
+
+        try:
+            return self._publish_snapshot(self._registry.get(token))
+        except LifecycleError as error:
+            raise ScoringBackendError(str(error)) from error
+
+    # ------------------------------------------------------------------ #
+    # Search-facing API
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, query: Query, plans: list[PlanNode], version: VersionPin = None
+    ) -> np.ndarray:
+        """Featurise here, score in a scorer process, block for the reply."""
+        if self._closed:
+            raise RuntimeError("scoring backend is closed")
+        if not plans:
+            return np.zeros(0, dtype=np.float64)
+        token = self._resolve_token(version)
+        featurizer = self._featurizer
+        if featurizer is None and isinstance(version, ValueNetwork):
+            featurizer = version.featurizer
+        if featurizer is None:
+            raise ScoringBackendError(
+                "backend has no featurizer: construct ProcessPoolBackend with "
+                "one, or pin requests to a live network"
+            )
+        examples = [featurizer.featurize(query, plan) for plan in plans]
+        payload = pack_examples(examples)
+
+        # Closed-check, pending registration and the enqueue share one lock
+        # with close(), so no task can slip in behind a shutdown sentinel and
+        # leave its submitter waiting out the full timeout.
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scoring backend is closed")
+            worker_index = self._pick_worker_locked()
+            request_id = next(self._request_ids)
+            pending = _PendingRequest(worker_index)
+            self._pending[request_id] = pending
+            self._task_queues[worker_index].put((request_id, token, payload))
+
+        if not pending.done.wait(timeout=self.submit_timeout_seconds):
+            with self._lock:
+                self._pending.pop(request_id, None)
+            raise ScoringBackendError(
+                f"scoring request timed out after {self.submit_timeout_seconds}s "
+                f"(worker {worker_index})"
+            )
+        if not pending.ok:
+            raise ScoringBackendError(str(pending.data))
+        predictions = unpack_predictions(pending.data)
+        self._core.record(1, len(examples), pending.chunk_sizes)
+        return predictions
+
+    def _pick_worker_locked(self) -> int:
+        for _ in range(len(self._processes)):
+            index = self._next_worker
+            self._next_worker = (self._next_worker + 1) % len(self._processes)
+            if not self._dead[index]:
+                return index
+        raise ScoringBackendError("all scorer processes are dead")
+
+    # ------------------------------------------------------------------ #
+    # Collector thread: replies and crash detection
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> None:
+        while True:
+            if self._closed and not self._pending:
+                return
+            try:
+                request_id, ok, data, chunk_sizes = self._result_queue.get(timeout=0.1)
+            except Empty:
+                self._reap_dead_workers()
+                continue
+            except (EOFError, OSError, ValueError):
+                return  # queue torn down during close()
+            if request_id == 0:  # readiness handshake
+                self._ready[chunk_sizes[0]].set()
+                continue
+            with self._lock:
+                pending = self._pending.pop(request_id, None)
+            if pending is None:
+                continue  # submitter gave up (timeout)
+            pending.ok = ok
+            pending.data = data
+            pending.chunk_sizes = tuple(chunk_sizes)
+            pending.done.set()
+
+    def _reap_dead_workers(self) -> None:
+        """Fail the in-flight requests of workers that died mid-batch."""
+        for index, process in enumerate(self._processes):
+            if self._dead[index] or process.is_alive():
+                continue
+            with self._lock:
+                self._dead[index] = True
+                orphaned = [
+                    (request_id, pending)
+                    for request_id, pending in self._pending.items()
+                    if pending.worker_index == index
+                ]
+                for request_id, _ in orphaned:
+                    del self._pending[request_id]
+            self._core.count_crash()
+            for _, pending in orphaned:
+                pending.ok = False
+                pending.data = (
+                    f"scorer process {index} (pid {process.pid}) died mid-batch "
+                    f"with exit code {process.exitcode}"
+                )
+                pending.done.set()
+
+    # ------------------------------------------------------------------ #
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until every scorer process has finished starting up.
+
+        Spawned workers pay an interpreter + import cost before their task
+        loop runs; the pool is usable before then (submits just queue), but
+        latency-sensitive callers — and fair benchmarks — can wait it out.
+
+        Returns:
+            True when all workers signalled ready within ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for event in self._ready:
+            remaining = (
+                None if deadline is None else max(deadline - time.monotonic(), 0.0)
+            )
+            if not event.wait(timeout=remaining):
+                return False
+        return True
+
+    def alive_workers(self) -> int:
+        """Scorer processes still serving."""
+        return sum(
+            0 if dead else int(process.is_alive())
+            for dead, process in zip(self._dead, self._processes)
+        )
+
+    def stats(self) -> ScoringBridgeStats:
+        """A snapshot of the batching counters (crashes and publishes included)."""
+        return self._core.snapshot()
+
+    def close(self) -> None:
+        """Stop the scorer processes and release the spool directory."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._registry is not None:
+            self._registry.unsubscribe(self._on_serving_change)
+        for index, task_queue in enumerate(self._task_queues):
+            if not self._dead[index]:
+                try:
+                    task_queue.put(None)
+                except (ValueError, OSError):
+                    pass
+        deadline = time.monotonic() + 5.0
+        for process in self._processes:
+            process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._collector.join(timeout=2.0)
+        for task_queue in self._task_queues:
+            task_queue.close()
+        self._result_queue.close()
+        # Wake any stragglers still waiting on a reply.
+        with self._lock:
+            orphaned = list(self._pending.values())
+            self._pending.clear()
+        for pending in orphaned:
+            pending.ok = False
+            pending.data = "scoring backend closed"
+            pending.done.set()
+        if self._owns_spool:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)

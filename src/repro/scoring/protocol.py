@@ -1,0 +1,111 @@
+"""The ``ScoringBackend`` protocol: one contract for every scoring path.
+
+Everything between ``BeamSearchPlanner.search(score_fn=...)`` and
+``ValueNetwork.predict_examples`` lives behind this interface.  A backend
+accepts ``(query, plans)`` scoring requests pinned to a model version, runs
+value-network forward passes *somewhere* — on the calling thread, on a shared
+coalescing thread, or in a pool of scorer processes — and returns raw-unit
+predictions.  The serving layer picks an implementation per
+``BalsaConfig.scoring_backend``; beam search itself never knows which one is
+wired in (its ``score_fn`` signature is unchanged).
+
+Version pins are deliberately loose: a live :class:`ValueNetwork` (in-process
+backends score it directly; the process backend publishes its weights as a
+snapshot first), a registry version number (resolved through a followed
+:class:`~repro.lifecycle.registry.ModelRegistry`), or ``None`` for "whatever
+is currently serving".  Two requests pinned to different versions are never
+mixed into one forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Union, runtime_checkable
+
+import numpy as np
+
+from repro.plans.nodes import PlanNode
+from repro.sql.query import Query
+
+if TYPE_CHECKING:
+    from repro.lifecycle.registry import ModelRegistry
+    from repro.model.value_network import ValueNetwork
+
+#: What ``submit`` accepts as a version pin: a live network, a registry
+#: version number, or ``None`` (the backend's current/serving model).
+VersionPin = Union["ValueNetwork", int, None]
+
+
+class ScoringBackendError(RuntimeError):
+    """A scoring backend failed to serve a request.
+
+    Typed so the serving layer can distinguish backend infrastructure
+    failures (a scorer process crashed mid-batch, a version could not be
+    resolved, a submit timed out) from planner bugs — and count them toward
+    its in-process fallback — while the waiting search still gets an
+    exception instead of a hang.
+    """
+
+
+@dataclass
+class ScoringBridgeStats:
+    """Counters describing how well scoring requests batched and coalesced.
+
+    Attributes:
+        requests: Scoring requests submitted by beam searches.
+        examples: Total (query, plan) pairs scored.
+        forward_batches: Value-network forward passes actually run.
+        coalesced_batches: Forward passes that merged more than one request.
+        max_batch_examples: Largest single forward-pass batch actually run.
+        versions_published: Model versions published to scorer processes
+            (process backend only).
+        worker_crashes: Scorer processes that died mid-service (process
+            backend only).
+    """
+
+    requests: int = 0
+    examples: int = 0
+    forward_batches: int = 0
+    coalesced_batches: int = 0
+    max_batch_examples: int = 0
+    versions_published: int = 0
+    worker_crashes: int = 0
+
+    @property
+    def mean_batch_examples(self) -> float:
+        """Average examples per forward pass (0 when nothing was scored)."""
+        return self.examples / self.forward_batches if self.forward_batches else 0.0
+
+
+#: Alias reflecting the post-refactor naming (the "bridge" name survives for
+#: the service layer's historical imports).
+ScoringStats = ScoringBridgeStats
+
+
+@runtime_checkable
+class ScoringBackend(Protocol):
+    """The scoring path contract the planner service programs against."""
+
+    def submit(
+        self, query: Query, plans: list[PlanNode], version: VersionPin = None
+    ) -> np.ndarray:
+        """Score ``plans`` for ``query`` under ``version``; blocks until done.
+
+        Drop-in replacement for ``ValueNetwork.predict`` — searches call this
+        as their ``score_fn`` (via a bound wrapper).  Raises
+        :class:`ScoringBackendError` on backend infrastructure failures.
+        """
+        ...
+
+    def follow(self, registry: "ModelRegistry") -> None:
+        """Track ``registry`` promotions: unpinned requests score the serving
+        version, and integer pins resolve through the registry."""
+        ...
+
+    def stats(self) -> ScoringBridgeStats:
+        """A snapshot of the batching/coalescing counters."""
+        ...
+
+    def close(self) -> None:
+        """Release scorer threads/processes; pending requests are served."""
+        ...

@@ -1,0 +1,142 @@
+"""Pickle-free wire format for featurised examples and predictions.
+
+The process-based scoring backend featurises in the *submitting* worker and
+ships only numeric payloads to the scorer processes — never queries, plans,
+networks or any other rich object graph.  Payloads use a raw fixed-layout
+binary format (a magic tag, a little-endian header of counts/dimensions,
+then the flat float64/int64 buffers): no pickling on either side, and
+decoding is a handful of ``np.frombuffer`` views rather than an archive
+parse — this sits on the per-frontier hot path of every beam search.
+
+Layout of one example batch (``pack_examples``), after the 4-byte magic and
+the ``<4q`` header ``(n, query_dim, node_dim, total_slots)``:
+
+- ``queries``   — ``(n, query_dim)`` float64 query encodings;
+- ``features``  — the per-example node tables, concatenated along axis 0 to
+  ``(total_slots, node_dim)``;
+- ``left`` / ``right`` — child indices, concatenated the same way;
+- ``slots``     — rows each example occupies in the concatenated tables;
+- ``num_nodes`` — real (non-sentinel) node count per example.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.featurization.featurizer import FeaturizedExample
+from repro.featurization.plan_encoder import FlattenedPlan
+
+#: Format tag opening every payload (bump on layout changes).
+WIRE_MAGIC = b"FEW1"
+_HEADER = struct.Struct("<4q")
+
+
+def _flat64(array: np.ndarray) -> bytes:
+    return np.ascontiguousarray(array, dtype=np.float64).tobytes()
+
+
+def _flati64(array: np.ndarray) -> bytes:
+    return np.ascontiguousarray(array, dtype=np.int64).tobytes()
+
+
+def pack_examples(examples: Sequence[FeaturizedExample]) -> bytes:
+    """Serialise featurised examples into one self-contained payload."""
+    if not examples:
+        raise ValueError("cannot pack zero examples")
+    queries = np.stack([example.query_encoding for example in examples])
+    features = np.concatenate([example.plan.features for example in examples], axis=0)
+    left = np.concatenate([example.plan.left for example in examples])
+    right = np.concatenate([example.plan.right for example in examples])
+    slots = np.array(
+        [example.plan.features.shape[0] for example in examples], dtype=np.int64
+    )
+    num_nodes = np.array(
+        [example.plan.num_nodes for example in examples], dtype=np.int64
+    )
+    header = _HEADER.pack(
+        len(examples), queries.shape[1], features.shape[1], features.shape[0]
+    )
+    return b"".join(
+        (
+            WIRE_MAGIC,
+            header,
+            _flat64(queries),
+            _flat64(features),
+            _flati64(left),
+            _flati64(right),
+            slots.tobytes(),
+            num_nodes.tobytes(),
+        )
+    )
+
+
+def unpack_examples(payload: bytes) -> list[FeaturizedExample]:
+    """Rebuild the featurised examples from a :func:`pack_examples` payload."""
+    view = memoryview(payload)
+    if len(view) < len(WIRE_MAGIC) + _HEADER.size or bytes(
+        view[: len(WIRE_MAGIC)]
+    ) != WIRE_MAGIC:
+        raise ValueError(
+            f"not a {WIRE_MAGIC!r} scoring payload ({len(payload)} bytes)"
+        )
+    offset = len(WIRE_MAGIC)
+    n, query_dim, node_dim, total_slots = _HEADER.unpack_from(view, offset)
+    offset += _HEADER.size
+
+    def take(count: int, dtype) -> np.ndarray:
+        nonlocal offset
+        nbytes = count * np.dtype(dtype).itemsize
+        if offset + nbytes > len(view):
+            raise ValueError(
+                f"corrupt payload: wanted {nbytes} bytes at offset {offset}, "
+                f"have {len(view)}"
+            )
+        array = np.frombuffer(view, dtype=dtype, count=count, offset=offset)
+        offset += nbytes
+        return array
+
+    queries = take(n * query_dim, np.float64).reshape(n, query_dim)
+    features = take(total_slots * node_dim, np.float64).reshape(total_slots, node_dim)
+    left = take(total_slots, np.int64)
+    right = take(total_slots, np.int64)
+    slots = take(n, np.int64)
+    num_nodes = take(n, np.int64)
+    if offset != len(view):
+        raise ValueError(
+            f"corrupt payload: {len(view) - offset} trailing bytes after parse"
+        )
+    if int(slots.sum()) != total_slots:
+        raise ValueError(
+            f"corrupt payload: slots account for {int(slots.sum())} node rows, "
+            f"tables hold {total_slots}"
+        )
+    examples: list[FeaturizedExample] = []
+    row = 0
+    for i in range(n):
+        rows = int(slots[i])
+        examples.append(
+            FeaturizedExample(
+                query_encoding=queries[i],
+                plan=FlattenedPlan(
+                    features=features[row : row + rows],
+                    left=left[row : row + rows],
+                    right=right[row : row + rows],
+                    num_nodes=int(num_nodes[i]),
+                ),
+            )
+        )
+        row += rows
+    return examples
+
+
+def pack_predictions(values: np.ndarray) -> bytes:
+    """Serialise a prediction vector (raw float64 buffer)."""
+    return np.ascontiguousarray(values, dtype=np.float64).tobytes()
+
+
+def unpack_predictions(payload: bytes) -> np.ndarray:
+    """Rebuild a prediction vector from :func:`pack_predictions` bytes."""
+    return np.frombuffer(payload, dtype=np.float64).copy()

@@ -95,9 +95,10 @@ class BeamSearchPlanner:
             query: The query to plan.
             network: Value network guiding the search.
             score_fn: Optional replacement for ``network.predict`` — the
-                planner service injects its batched scoring bridge here so
-                frontier expansions from concurrent searches coalesce into
-                larger forward passes.
+                planner service injects its scoring backend here (a bound
+                ``ScoringBackend.submit``), so frontier expansions from
+                concurrent searches coalesce into larger forward passes or
+                run in scorer processes; the search is agnostic to which.
             top_k: Per-call override of the configured ``top_k``.
             deadline: Absolute ``time.perf_counter()`` timestamp at which the
                 search stops expanding and returns whatever complete plans it

@@ -7,9 +7,11 @@ Serves the uniform :class:`~repro.planning.envelope.PlanRequest` /
 - :class:`~repro.service.cache.ServicePlanCache` — a cross-query LRU plan
   cache keyed by ``(query fingerprint, planner version, k)``, so repeated
   queries skip planning entirely until the backend changes;
-- :class:`~repro.service.batching.BatchedScoringBridge` — coalesces
-  child-plan scoring requests from concurrent beam searches into larger
-  value-network forward passes;
+- pluggable scoring backends (:mod:`repro.scoring`) — ``"inproc"``,
+  ``"threaded"`` (the historical :class:`~repro.service.batching.BatchedScoringBridge`,
+  coalescing child-plan scoring from concurrent beam searches into larger
+  forward passes) and ``"process"`` (scorer processes loading published
+  model snapshots), selected per service with automatic in-process fallback;
 - :class:`~repro.service.service.PlannerService` — the front door: admission
   control (deadlines, ``max_pending`` capacity, typed
   :class:`~repro.planning.envelope.AdmissionError` rejections) ahead of a

@@ -1,75 +1,34 @@
-"""Cross-search scoring coalescing for the planner service.
+"""Compatibility front for the scoring package's threaded backend.
 
-Each beam search scores the children of an expanded state in one
-``ValueNetwork.predict`` call.  When several searches run concurrently, those
-per-frontier batches are often small and arrive close together; the bridge
-funnels them through a single scoring thread that drains the request queue,
-concatenates the featurised examples into one larger forward pass, then
-scatters the predictions back to the waiting searches.  Tree-convolution
-forward passes are thereby amortised across the beam frontiers of *all*
-in-flight queries, not just one.
+The cross-search coalescing logic that used to live here is now the
+:mod:`repro.scoring` package (one :class:`~repro.scoring.protocol.ScoringBackend`
+protocol, three implementations).  :class:`BatchedScoringBridge` survives as
+a thin subclass of :class:`~repro.scoring.threaded.ThreadedBatchingBackend`
+carrying the historical constructor and ``score()`` spelling, so existing
+callers and tests keep working unchanged.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-import time
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
 from repro.model.value_network import ValueNetwork
 from repro.plans.nodes import PlanNode
+from repro.scoring.protocol import ScoringBridgeStats
+from repro.scoring.threaded import ThreadedBatchingBackend
 from repro.sql.query import Query
 
-
-class _ScoreRequest:
-    """One pending scoring request from a beam search."""
-
-    __slots__ = ("query", "plans", "network", "done", "result", "error")
-
-    def __init__(
-        self, query: Query, plans: list[PlanNode], network: ValueNetwork | None = None
-    ):
-        self.query = query
-        self.plans = plans
-        self.network = network
-        self.done = threading.Event()
-        self.result: np.ndarray | None = None
-        self.error: BaseException | None = None
+__all__ = ["BatchedScoringBridge", "ScoringBridgeStats"]
 
 
-_SENTINEL = object()
-
-
-@dataclass
-class ScoringBridgeStats:
-    """Counters describing how well scoring requests coalesced.
-
-    Attributes:
-        requests: Scoring requests submitted by beam searches.
-        examples: Total (query, plan) pairs scored.
-        forward_batches: Value-network forward passes actually run.
-        coalesced_batches: Forward passes that merged more than one request.
-        max_batch_examples: Largest single forward-pass batch.
-    """
-
-    requests: int = 0
-    examples: int = 0
-    forward_batches: int = 0
-    coalesced_batches: int = 0
-    max_batch_examples: int = 0
-
-    @property
-    def mean_batch_examples(self) -> float:
-        """Average examples per forward pass (0 when nothing was scored)."""
-        return self.examples / self.forward_batches if self.forward_batches else 0.0
-
-
-class BatchedScoringBridge:
+class BatchedScoringBridge(ThreadedBatchingBackend):
     """Coalesces scoring requests from concurrent searches into large batches.
+
+    Historical name and signature of the threaded batching backend; see
+    :class:`~repro.scoring.threaded.ThreadedBatchingBackend` for the
+    mechanics.
 
     Args:
         network_provider: Zero-argument callable returning the current
@@ -88,24 +47,13 @@ class BatchedScoringBridge:
         max_batch_size: int = 512,
         coalesce_wait_seconds: float = 0.001,
     ):
-        if max_batch_size < 1:
-            raise ValueError("max_batch_size must be >= 1")
-        self.network_provider = network_provider
-        self.max_batch_size = max_batch_size
-        self.coalesce_wait_seconds = coalesce_wait_seconds
-        self._queue: queue.Queue = queue.Queue()
-        self._lock = threading.Lock()
-        self._submit_lock = threading.Lock()
-        self._stats = ScoringBridgeStats()
-        self._closed = False
-        self._thread = threading.Thread(
-            target=self._run, name="planner-scoring-bridge", daemon=True
+        super().__init__(
+            network_provider,
+            max_batch_size=max_batch_size,
+            coalesce_wait_seconds=coalesce_wait_seconds,
         )
-        self._thread.start()
+        self.network_provider = network_provider
 
-    # ------------------------------------------------------------------ #
-    # Search-facing API
-    # ------------------------------------------------------------------ #
     def score(
         self,
         query: Query,
@@ -125,131 +73,4 @@ class BatchedScoringBridge:
                 in-flight search keeps scoring against version N across a hot
                 swap to N+1; unpinned requests follow ``network_provider``.
         """
-        if not plans:
-            return np.zeros(0, dtype=np.float64)
-        request = _ScoreRequest(query, list(plans), network)
-        # The closed check and the enqueue share a lock with close() so no
-        # request can slip in behind the shutdown sentinel and wait forever.
-        with self._submit_lock:
-            if self._closed:
-                raise RuntimeError("scoring bridge is closed")
-            self._queue.put(request)
-        request.done.wait()
-        if request.error is not None:
-            raise request.error
-        return request.result
-
-    def stats(self) -> ScoringBridgeStats:
-        """A snapshot of the coalescing counters."""
-        with self._lock:
-            return ScoringBridgeStats(
-                requests=self._stats.requests,
-                examples=self._stats.examples,
-                forward_batches=self._stats.forward_batches,
-                coalesced_batches=self._stats.coalesced_batches,
-                max_batch_examples=self._stats.max_batch_examples,
-            )
-
-    def close(self) -> None:
-        """Stop the scoring thread; pending requests are still served."""
-        with self._submit_lock:
-            if self._closed:
-                return
-            self._closed = True
-            self._queue.put(_SENTINEL)
-        self._thread.join()
-
-    # ------------------------------------------------------------------ #
-    # Scoring thread
-    # ------------------------------------------------------------------ #
-    def _run(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _SENTINEL:
-                break
-            requests = self._gather([item])
-            if requests is None:
-                break
-            self._serve(requests)
-
-    def _gather(self, requests: list[_ScoreRequest]) -> list[_ScoreRequest] | None:
-        """Drain stragglers into ``requests`` until the batch budget is met.
-
-        Returns ``None`` when the sentinel arrives mid-drain (after serving
-        what was already gathered).
-        """
-        deadline = time.perf_counter() + self.coalesce_wait_seconds
-        saw_sentinel = False
-        while sum(len(r.plans) for r in requests) < self.max_batch_size:
-            remaining = deadline - time.perf_counter()
-            try:
-                if remaining > 0:
-                    item = self._queue.get(timeout=remaining)
-                else:
-                    item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is _SENTINEL:
-                saw_sentinel = True
-                break
-            requests.append(item)
-        if saw_sentinel:
-            self._serve(requests)
-            return None
-        return requests
-
-    def _serve(self, requests: list[_ScoreRequest]) -> None:
-        """Run coalesced forward passes and scatter results to requests.
-
-        Requests pinned to different networks (a hot-swap window: some
-        searches still on version N, new ones on N+1) are never mixed into
-        one forward pass; each pinned group gets its own batch.
-        """
-        for group in self._group_by_network(requests):
-            try:
-                predictions = self._predict(group)
-                offset = 0
-                for request in group:
-                    request.result = predictions[offset : offset + len(request.plans)]
-                    offset += len(request.plans)
-            except BaseException as error:  # surface failures in the caller
-                for request in group:
-                    request.error = error
-            finally:
-                for request in group:
-                    request.done.set()
-
-    @staticmethod
-    def _group_by_network(
-        requests: Sequence[_ScoreRequest],
-    ) -> list[list[_ScoreRequest]]:
-        groups: dict[int, list[_ScoreRequest]] = {}
-        for request in requests:
-            groups.setdefault(id(request.network), []).append(request)
-        return list(groups.values())
-
-    def _predict(self, requests: Sequence[_ScoreRequest]) -> np.ndarray:
-        network = requests[0].network
-        if network is None:
-            network = self.network_provider()
-        featurizer = network.featurizer
-        examples = [
-            featurizer.featurize(request.query, plan)
-            for request in requests
-            for plan in request.plans
-        ]
-        outputs = []
-        chunks = 0
-        for start in range(0, len(examples), self.max_batch_size):
-            chunk = examples[start : start + self.max_batch_size]
-            outputs.append(network.predict_examples(chunk))
-            chunks += 1
-        with self._lock:
-            stats = self._stats
-            stats.requests += len(requests)
-            stats.examples += len(examples)
-            stats.forward_batches += chunks
-            stats.coalesced_batches += chunks if len(requests) > 1 else 0
-            largest = min(len(examples), self.max_batch_size)
-            stats.max_batch_examples = max(stats.max_batch_examples, largest)
-        return np.concatenate(outputs) if outputs else np.zeros(0, dtype=np.float64)
+        return self.submit(query, plans, version=network)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.service.batching import ScoringBridgeStats
+from repro.scoring.protocol import ScoringBridgeStats
 from repro.service.cache import CacheStats
 
 
@@ -67,6 +67,10 @@ class ServiceMetrics:
         warmed_entries: Plan-cache entries populated by cache warming (fresh
             searches run by :meth:`PlannerService.warm_cache`, typically right
             after a hot swap).
+        scoring_backend_failures: Scoring-backend submits that failed with a
+            typed :class:`~repro.scoring.protocol.ScoringBackendError`.
+        scoring_fallbacks: Times the service abandoned its configured scoring
+            backend for the in-process fallback (at most 1 per service life).
         total_states_expanded: Summed search-state expansions (fresh searches
             only).
         total_plans_scored: Summed candidate plans scored (fresh searches
@@ -90,6 +94,8 @@ class ServiceMetrics:
     swaps: int = 0
     promotions_rejected: int = 0
     warmed_entries: int = 0
+    scoring_backend_failures: int = 0
+    scoring_fallbacks: int = 0
     total_states_expanded: int = 0
     total_plans_scored: int = 0
     total_queue_wait_seconds: float = 0.0
@@ -132,6 +138,8 @@ class ServiceMetrics:
             "swaps": self.swaps,
             "promotions_rejected": self.promotions_rejected,
             "warmed_entries": self.warmed_entries,
+            "scoring_backend_failures": self.scoring_backend_failures,
+            "scoring_fallbacks": self.scoring_fallbacks,
             "total_states_expanded": self.total_states_expanded,
             "total_plans_scored": self.total_plans_scored,
             "hit_rate": self.hit_rate,
@@ -179,5 +187,10 @@ class ServiceMetrics:
                 f"scoring batches={self.scoring.forward_batches} "
                 f"mean_batch={self.scoring.mean_batch_examples:.1f} "
                 f"max_batch={self.scoring.max_batch_examples}"
+            )
+        if self.scoring_backend_failures or self.scoring_fallbacks:
+            lines.append(
+                f"scoring backend_failures={self.scoring_backend_failures} "
+                f"fallbacks={self.scoring_fallbacks}"
             )
         return "\n".join(lines)

@@ -12,9 +12,13 @@ custom backend.  Each admitted request passes through three layers:
    top-k plans without searching;
 2. single-flight deduplication — identical queries already being planned by
    another worker wait for that search instead of duplicating it;
-3. the worker pool — independent queries plan concurrently, optionally
-   sharing one :class:`~repro.service.batching.BatchedScoringBridge` so their
-   beam frontiers coalesce into larger value-network forward passes.
+3. the worker pool — independent queries plan concurrently, their
+   value-network scoring routed through a pluggable
+   :class:`~repro.scoring.protocol.ScoringBackend`: in-process (GIL-bound
+   baseline), threaded (beam frontiers coalesce into larger forward passes),
+   or a process pool (scorer processes loading published model snapshots —
+   true parallelism).  Backends that fail repeatedly are abandoned for an
+   in-process fallback after ``max_backend_failures`` typed errors.
 
 Admission control guards the front door: requests whose planning budget has
 already expired, and requests beyond the ``max_pending`` capacity, are
@@ -42,8 +46,13 @@ from repro.planning.adapters import BeamPlanner
 from repro.planning.envelope import AdmissionError, PlanRequest, PlanResult
 from repro.planning.protocol import Planner, planner_version
 from repro.plans.nodes import PlanNode
+from repro.scoring import (
+    InProcessBackend,
+    ScoringBackend,
+    ScoringBackendError,
+    make_scoring_backend,
+)
 from repro.search.beam import BeamSearchPlanner
-from repro.service.batching import BatchedScoringBridge
 from repro.service.cache import CacheKey, ServicePlanCache
 from repro.service.metrics import RequestStats, ServiceMetrics
 from repro.sql.query import Query
@@ -147,11 +156,25 @@ class PlannerService:
             same cache/dedup/metrics path.
         max_workers: Worker-pool size for :meth:`submit` / :meth:`plan_many`.
         cache_capacity: Plan-cache capacity in entries (0 disables caching).
-        coalesce_scoring: Route scoring through the shared batching bridge so
-            concurrent beam searches share forward passes.  Only engaged with
-            the beam backend and ``max_workers > 1``.
-        max_batch_size: Forward-pass size cap for the bridge.
-        coalesce_wait_seconds: Straggler window of the bridge.
+        coalesce_scoring: Route scoring through the shared threaded batching
+            backend so concurrent beam searches share forward passes.  Only
+            consulted when ``scoring_backend`` is unset, with the beam
+            backend and ``max_workers > 1``.
+        scoring_backend: How beam-search scoring executes: ``"inproc"``
+            (forward passes on the planning thread), ``"threaded"`` (one
+            coalescing scoring thread), ``"process"`` (a pool of
+            ``max_workers`` scorer processes loading published snapshots —
+            breaks the GIL bound), or a ready
+            :class:`~repro.scoring.protocol.ScoringBackend` instance (closed
+            with the service).  ``None`` keeps the historical mapping from
+            ``coalesce_scoring``.
+        max_backend_failures: Consecutive
+            :class:`~repro.scoring.protocol.ScoringBackendError` failures
+            tolerated before the service abandons the configured backend and
+            falls back to in-process scoring (``None`` disables the
+            fallback).  The failing requests still surface their typed error.
+        max_batch_size: Forward-pass size cap for the scoring backend.
+        coalesce_wait_seconds: Straggler window of the threaded backend.
         max_pending: Admission-control capacity: maximum requests admitted
             but not yet completed.  Further requests are rejected with
             :class:`AdmissionError` (``None`` disables the cap).
@@ -169,6 +192,8 @@ class PlannerService:
         max_workers: int = 4,
         cache_capacity: int = 4096,
         coalesce_scoring: bool = True,
+        scoring_backend: str | ScoringBackend | None = None,
+        max_backend_failures: int | None = 3,
         max_batch_size: int = 512,
         coalesce_wait_seconds: float = 0.001,
         max_pending: int | None = None,
@@ -180,10 +205,18 @@ class PlannerService:
             raise ValueError("max_pending must be >= 0 (or None to disable)")
 
         beam_mode = network is not None or network_provider is not None
-        self._bridge: BatchedScoringBridge | None = None
+        self._scoring: ScoringBackend | None = None
+        self._owned_backends: list[ScoringBackend] = []
+        self._max_batch_size = max_batch_size
+        self.max_backend_failures = max_backend_failures
+        self._backend_failures = 0
+        self._fallen_back = False
+        # Counters of a backend abandoned by the fallback, folded into
+        # metrics() so its history survives the switch.
+        self._retired_scoring = None
         # The value network's layers stash per-call activations on themselves,
-        # so bare ``network.predict`` is not thread-safe.  With the bridge off
-        # and several workers, scoring serialises through this lock instead.
+        # so bare ``network.predict`` is not thread-safe.  Protocol-mode beam
+        # adapters without a score_fn serialise through this lock.
         self._predict_lock = threading.Lock()
         # Guards the serving-network holder: a request's key computation and
         # a concurrent hot swap never interleave mid-resolution.
@@ -201,22 +234,28 @@ class PlannerService:
             self._holder = _NetworkHolder(network_provider or (lambda: network))
             self.network_provider = self._holder.get
             self.planner: BeamSearchPlanner | Planner = planner or BeamSearchPlanner()
-            if coalesce_scoring and max_workers > 1:
-                self._bridge = BatchedScoringBridge(
-                    self._network,
+            if scoring_backend is None:
+                # Historical mapping: coalesce across workers when asked,
+                # score on the planning thread otherwise.
+                scoring_backend = (
+                    "threaded" if (coalesce_scoring and max_workers > 1) else "inproc"
+                )
+            if isinstance(scoring_backend, str):
+                self._scoring = make_scoring_backend(
+                    scoring_backend,
+                    self.network_provider,
+                    num_workers=max_workers,
                     max_batch_size=max_batch_size,
                     coalesce_wait_seconds=coalesce_wait_seconds,
                 )
-            if self._bridge is not None:
-                score_fn = self._bridge.score
-            elif max_workers > 1:
-                score_fn = self._make_locked_score(self.network_provider)
+                self._owned_backends.append(self._scoring)
             else:
-                score_fn = None
+                self._scoring = scoring_backend
+                self._owned_backends.append(self._scoring)
             self.backend: Planner = BeamPlanner(
                 network_provider=self.network_provider,
                 planner=self.planner,
-                score_fn=score_fn,
+                score_fn=self._make_backend_score(None),
             )
             self._default_k = default_k if default_k is not None else self.planner.top_k
         else:
@@ -224,6 +263,11 @@ class PlannerService:
                 raise ValueError(
                     "provide a network/network_provider (beam backend) or a planner "
                     "implementing the Planner protocol"
+                )
+            if scoring_backend is not None:
+                raise ValueError(
+                    "scoring_backend requires the beam backend; protocol "
+                    "planners score inside their own plan()"
                 )
             if isinstance(planner, BeamSearchPlanner):
                 raise ValueError("a BeamSearchPlanner backend needs a network")
@@ -449,6 +493,8 @@ class PlannerService:
                 swaps=self._swaps,
                 promotions_rejected=self._promotions_rejected,
                 warmed_entries=self._warmed_entries,
+                scoring_backend_failures=self._scoring_backend_failures,
+                scoring_fallbacks=self._scoring_fallbacks,
                 total_states_expanded=self._states_expanded,
                 total_plans_scored=self._plans_scored,
                 total_queue_wait_seconds=self._total_queue_wait,
@@ -458,8 +504,25 @@ class PlannerService:
                 wall_seconds=wall,
             )
         report.cache = self.cache.stats()
-        if self._bridge is not None:
-            report.scoring = self._bridge.stats()
+        if self._scoring is not None:
+            report.scoring = self._scoring.stats()
+            retired = self._retired_scoring
+            if retired is not None:
+                # Fold in the pre-fallback history (totals add, the max-batch
+                # watermark maxes), so the merged report stays consistent with
+                # the request log across the backend switch.
+                for field in dataclass_fields(type(report.scoring)):
+                    merge = max if field.name == "max_batch_examples" else (
+                        lambda a, b: a + b
+                    )
+                    setattr(
+                        report.scoring,
+                        field.name,
+                        merge(
+                            getattr(report.scoring, field.name),
+                            getattr(retired, field.name),
+                        ),
+                    )
         return report
 
     def request_log(self) -> list[RequestStats]:
@@ -482,6 +545,8 @@ class PlannerService:
         self._swaps = 0
         self._promotions_rejected = 0
         self._warmed_entries = 0
+        self._scoring_backend_failures = 0
+        self._scoring_fallbacks = 0
         self._states_expanded = 0
         self._plans_scored = 0
         self._total_queue_wait = 0.0
@@ -496,14 +561,14 @@ class PlannerService:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Drain the worker pool and stop the scoring bridge."""
+        """Drain the worker pool and stop the scoring backends."""
         if self._closed:
             return
         self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
-        if self._bridge is not None:
-            self._bridge.close()
+        for backend in self._owned_backends:
+            backend.close()
 
     def __enter__(self) -> "PlannerService":
         return self
@@ -752,16 +817,75 @@ class PlannerService:
 
     def _pinned_backend(self, network: ValueNetwork) -> Planner:
         """A beam backend bound to ``network`` for the span of one request."""
-        if self._bridge is not None:
-            def score_fn(query: Query, plans: list[PlanNode]):
-                return self._bridge.score(query, plans, network=network)
-        elif self.max_workers > 1:
-            def score_fn(query: Query, plans: list[PlanNode]):
-                with self._predict_lock:
-                    return network.predict(query, plans)
-        else:
-            score_fn = None
-        return BeamPlanner(network=network, planner=self.planner, score_fn=score_fn)
+        return BeamPlanner(
+            network=network,
+            planner=self.planner,
+            score_fn=self._make_backend_score(network),
+        )
+
+    def _make_backend_score(self, pin: ValueNetwork | None):
+        """A ``score_fn`` routing through the scoring backend.
+
+        ``pin`` is the network a request resolved at admission (None defers
+        to the live provider at call time); the backend receives it as the
+        version pin, so a hot swap mid-search never changes what an in-flight
+        search scores against, and the process backend ships the matching
+        published snapshot to its scorers.
+        """
+
+        def score(query: Query, plans: list[PlanNode]):
+            network = pin if pin is not None else self._network()
+            return self._score(query, plans, network)
+
+        return score
+
+    def _score(self, query: Query, plans: list[PlanNode], network: ValueNetwork):
+        """One backend submit, with failure accounting and fallback."""
+        backend = self._scoring
+        try:
+            predictions = backend.submit(query, plans, version=network)
+        except ScoringBackendError:
+            self._note_backend_failure()
+            raise
+        with self._metrics_lock:
+            self._backend_failures = 0
+        return predictions
+
+    def _note_backend_failure(self) -> None:
+        """Count a backend failure; install the in-process fallback at the cap.
+
+        The failing request still surfaces its typed error (its batch is
+        lost); requests arriving after the cap score in-process, so a dead
+        scorer pool degrades throughput instead of availability.
+        """
+        with self._metrics_lock:
+            self._backend_failures += 1
+            self._scoring_backend_failures += 1
+            fall_back = (
+                not self._fallen_back
+                and self.max_backend_failures is not None
+                and self._backend_failures >= self.max_backend_failures
+            )
+            if fall_back:
+                self._fallen_back = True
+                self._scoring_fallbacks += 1
+        if fall_back:
+            abandoned = self._scoring
+            fallback = InProcessBackend(
+                self.network_provider, max_batch_size=self._max_batch_size
+            )
+            self._owned_backends.append(fallback)
+            self._scoring = fallback
+            # Preserve the abandoned backend's counters in metrics(), then
+            # release its resources (scorer processes, spool) off the request
+            # path — close() can block on process joins.
+            try:
+                self._retired_scoring = abandoned.stats()
+            except BaseException:
+                pass
+            threading.Thread(
+                target=abandoned.close, name="scoring-backend-reaper", daemon=True
+            ).start()
 
     def _truncated_result(self) -> PlanResult:
         """An empty budget-truncated result (deadline drained before planning)."""

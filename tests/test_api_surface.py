@@ -25,6 +25,7 @@ EXPECTED_API = sorted(
         "BeamPlanner",
         "BeamSearchPlanner",
         "ExperimentScale",
+        "InProcessBackend",
         "LifecycleError",
         "ModelLifecycle",
         "ModelRegistry",
@@ -36,15 +37,20 @@ EXPECTED_API = sorted(
         "PlanningError",
         "PlanRequest",
         "PlanResult",
+        "ProcessPoolBackend",
         "PromotionDecision",
         "RandomPlanner",
+        "ScoringBackend",
+        "ScoringBackendError",
         "ServiceMetrics",
         "ServiceResponse",
         "ShadowEvaluator",
         "StateDictMismatchError",
+        "ThreadedBatchingBackend",
         "UnknownPlannerError",
         "WorkloadBenchmark",
         "make_job_benchmark",
+        "make_scoring_backend",
         "make_tpch_benchmark",
         "merge_agent_experiences",
         "planner_version",
@@ -90,6 +96,23 @@ def test_service_reexports_admission_error():
     from repro.service import AdmissionError as ServiceAdmissionError
 
     assert ServiceAdmissionError is planning.AdmissionError
+
+
+def test_scoring_module_surface():
+    import repro.scoring as scoring
+
+    for name in scoring.__all__:
+        assert getattr(scoring, name, None) is not None, (
+            f"repro.scoring.{name} does not resolve"
+        )
+    assert api.ScoringBackend is scoring.ScoringBackend
+    assert api.ScoringBackendError is scoring.ScoringBackendError
+    assert api.ProcessPoolBackend is scoring.ProcessPoolBackend
+    # The historical bridge is the threaded backend, same counters type.
+    from repro.service.batching import BatchedScoringBridge, ScoringBridgeStats
+
+    assert issubclass(BatchedScoringBridge, scoring.ThreadedBatchingBackend)
+    assert ScoringBridgeStats is scoring.ScoringBridgeStats
 
 
 def test_lifecycle_surface_reexported():

@@ -385,9 +385,13 @@ class TestShadowGate:
 # ---------------------------------------------------------------------- #
 # Hot swap + cache warming through the full manager
 # ---------------------------------------------------------------------- #
-def make_stack(bench, queries, cost_model, network, max_workers=2, **shadow_kwargs):
+def make_stack(
+    bench, queries, cost_model, network, max_workers=2, scoring_backend=None,
+    **shadow_kwargs,
+):
     service = PlannerService(
-        network, planner=small_planner(), max_workers=max_workers
+        network, planner=small_planner(), max_workers=max_workers,
+        scoring_backend=scoring_backend,
     )
     registry = ModelRegistry()
     shadow_kwargs.setdefault("max_regression", 1.3)
@@ -402,12 +406,19 @@ def make_stack(bench, queries, cost_model, network, max_workers=2, **shadow_kwar
 
 
 class TestLifecycleEndToEnd:
+    # The hot-swap invariants must hold identically whether scoring runs on
+    # the threaded coalescing backend or in scorer processes following
+    # published snapshots (promotions propagate by version key; in-flight
+    # searches never see mixed-version batches).
+    @pytest.mark.parametrize("scoring_backend", ["threaded", "process"])
     def test_swap_under_traffic_with_warm_cache(
-        self, bench, queries, cost_model, experience, trained_serving
+        self, bench, queries, cost_model, experience, trained_serving,
+        scoring_backend,
     ):
         serving = trained_serving
         service, registry, lifecycle = make_stack(
-            bench, queries, cost_model, serving, max_workers=4
+            bench, queries, cost_model, serving, max_workers=4,
+            scoring_backend=scoring_backend,
         )
         examples, labels = experience
         failures: list[BaseException] = []
@@ -553,8 +564,11 @@ class TestLifecycleEndToEnd:
 # ---------------------------------------------------------------------- #
 # The stale-cache window (regression test with a forced interleaving)
 # ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("scoring_backend", ["threaded", "process"])
 class TestStaleCacheWindow:
-    def test_swap_interleaved_with_inflight_plan(self, bench, queries):
+    def test_swap_interleaved_with_inflight_plan(
+        self, bench, queries, scoring_backend
+    ):
         """A swap landing mid-search must not poison either version's cache.
 
         The interleaving is forced: the in-flight search triggers the swap
@@ -582,7 +596,9 @@ class TestStaleCacheWindow:
 
         planner = SwapMidSearch(beam_size=3, top_k=2, enumerate_scan_operators=False)
         reference = small_planner()
-        with PlannerService(net_a, planner=planner, max_workers=2) as service:
+        with PlannerService(
+            net_a, planner=planner, max_workers=2, scoring_backend=scoring_backend
+        ) as service:
             box["service"] = service
             inflight = service.plan(query)  # triggers the swap mid-request
             assert inflight.plans  # the in-flight request was not dropped
@@ -608,13 +624,16 @@ class TestStaleCacheWindow:
             )
 
     def test_entry_scored_by_old_version_never_served_after_swap(
-        self, bench, queries
+        self, bench, queries, scoring_backend
     ):
         net_a = small_network(bench.featurizer, seed=0)
         net_b = small_network(bench.featurizer, seed=5)
         query = queries[1]
         reference = small_planner()
-        with PlannerService(net_a, planner=small_planner(), max_workers=1) as service:
+        with PlannerService(
+            net_a, planner=small_planner(), max_workers=1,
+            scoring_backend=scoring_backend,
+        ) as service:
             first = service.plan(query)
             assert service.plan(query).cache_hit  # warm under version N
             service.swap_network(net_b)

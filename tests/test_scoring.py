@@ -1,0 +1,638 @@
+"""Tests for the pluggable scoring backends (`repro.scoring`).
+
+Covers the wire format, the stateless ``ValueNetwork.from_state_dict`` /
+``predict_from_state`` contract, snapshot persistence to disk, the backend
+matrix (inproc / threaded / process) behind one protocol, process-backend
+failure modes (crash mid-batch surfaces a typed error, never a hang), and
+the planner service's in-process fallback after repeated backend failures.
+
+The matrix half honours ``REPRO_SCORING_BACKENDS`` (comma-separated subset
+of ``inproc,threaded,process``) so CI can shard one backend per job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.featurization.featurizer import SignatureFeaturizer, canonical_signature
+from repro.lifecycle import ModelRegistry, ModelSnapshot
+from repro.model.value_network import (
+    StateDictMismatchError,
+    ValueNetwork,
+    ValueNetworkConfig,
+)
+from repro.planning.envelope import PlanRequest
+from repro.scoring import (
+    InProcessBackend,
+    ProcessPoolBackend,
+    ScoringBackend,
+    ScoringBackendError,
+    ScoringBridgeStats,
+    ThreadedBatchingBackend,
+    make_scoring_backend,
+)
+from repro.scoring.process import _CRASH_TOKEN
+from repro.scoring.wire import pack_examples, unpack_examples
+from repro.search.beam import BeamSearchPlanner
+from repro.service.service import PlannerService
+from repro.workloads.benchmark import make_job_benchmark
+
+_ALL_BACKENDS = ("inproc", "threaded", "process")
+_requested = [
+    name.strip()
+    for name in os.environ.get("REPRO_SCORING_BACKENDS", "").split(",")
+    if name.strip()
+]
+BACKENDS = tuple(name for name in _ALL_BACKENDS if name in _requested) or _ALL_BACKENDS
+
+
+def small_config(seed: int = 0) -> ValueNetworkConfig:
+    return ValueNetworkConfig(
+        query_hidden=16, query_embedding=8, tree_channels=(16, 8), head_hidden=8,
+        seed=seed,
+    )
+
+
+def small_network(featurizer, seed: int = 0) -> ValueNetwork:
+    return ValueNetwork(featurizer, small_config(seed))
+
+
+def small_planner() -> BeamSearchPlanner:
+    return BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=False)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return make_job_benchmark(
+        fact_rows=300, num_queries=8, num_templates=4, test_size=2,
+        seed=0, size_range=(3, 5),
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(bench):
+    return list(bench.train_queries)
+
+
+@pytest.fixture(scope="module")
+def candidate_plans(bench, queries):
+    """A handful of distinct plans per query to score."""
+    network = small_network(bench.featurizer, seed=7)
+    planner = BeamSearchPlanner(beam_size=4, top_k=4, enumerate_scan_operators=False)
+    return {
+        query.name: planner.search(query, network).plans for query in queries[:3]
+    }
+
+
+def make_backend(name: str, bench, provider=None, **kwargs) -> ScoringBackend:
+    if name == "process":
+        kwargs.setdefault("submit_timeout_seconds", 60.0)
+        kwargs.setdefault("num_workers", 2)
+    return make_scoring_backend(
+        name, provider, featurizer=bench.featurizer, **kwargs
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Wire format
+# ---------------------------------------------------------------------- #
+class TestWireFormat:
+    def test_round_trip_preserves_examples_and_predictions(
+        self, bench, queries, candidate_plans
+    ):
+        network = small_network(bench.featurizer)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        examples = [bench.featurizer.featurize(query, plan) for plan in plans]
+        restored = unpack_examples(pack_examples(examples))
+        assert len(restored) == len(examples)
+        for original, copy in zip(examples, restored):
+            np.testing.assert_array_equal(original.query_encoding, copy.query_encoding)
+            np.testing.assert_array_equal(original.plan.features, copy.plan.features)
+            np.testing.assert_array_equal(original.plan.left, copy.plan.left)
+            np.testing.assert_array_equal(original.plan.right, copy.plan.right)
+            assert original.plan.num_nodes == copy.plan.num_nodes
+        np.testing.assert_allclose(
+            network.predict_examples(restored), network.predict_examples(examples)
+        )
+
+    def test_zero_examples_rejected(self):
+        with pytest.raises(ValueError, match="zero examples"):
+            pack_examples([])
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(Exception):
+            unpack_examples(b"definitely not an npz archive")
+
+
+# ---------------------------------------------------------------------- #
+# Stateless restore: from_state_dict / predict_from_state
+# ---------------------------------------------------------------------- #
+class TestStatelessRestore:
+    def test_predict_from_state_matches_live_network(
+        self, bench, queries, candidate_plans
+    ):
+        network = small_network(bench.featurizer, seed=3)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        examples = [bench.featurizer.featurize(query, plan) for plan in plans]
+        np.testing.assert_allclose(
+            ValueNetwork.predict_from_state(network.state_dict(), examples),
+            network.predict_examples(examples),
+        )
+
+    def test_from_state_dict_without_schema(self, bench):
+        network = small_network(bench.featurizer, seed=1)
+        restored = ValueNetwork.from_state_dict(network.state_dict())
+        assert isinstance(restored.featurizer, SignatureFeaturizer)
+        assert restored.featurizer.signature() == canonical_signature(
+            bench.featurizer.signature()
+        )
+        assert restored.config == network.config
+
+    def test_signature_featurizer_cannot_featurize(self, bench, queries):
+        network = small_network(bench.featurizer)
+        restored = ValueNetwork.from_state_dict(network.state_dict())
+        with pytest.raises(TypeError, match="cannot featurize"):
+            restored.featurizer.featurize(queries[0], None)
+
+    def test_missing_signature_rejected(self, bench):
+        network = small_network(bench.featurizer)
+        state = network.state_dict()
+        del state["featurizer_signature"]
+        with pytest.raises(StateDictMismatchError, match="no featurizer_signature"):
+            ValueNetwork.from_state_dict(state)
+
+    def test_non_state_dict_rejected(self):
+        with pytest.raises(StateDictMismatchError, match="missing 'weights'"):
+            ValueNetwork.from_state_dict({"weights?": "nope"})
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot persistence (np.savez on the state_dict format)
+# ---------------------------------------------------------------------- #
+class TestSnapshotPersistence:
+    def test_save_load_round_trip(self, bench, queries, candidate_plans, tmp_path):
+        network = small_network(bench.featurizer, seed=4)
+        snapshot = ModelSnapshot.capture(
+            network, 7, source="unit", parent_version=3, tag="t"
+        )
+        path = snapshot.save(tmp_path / "model-v7.npz")
+        loaded = ModelSnapshot.load(path)
+        assert loaded.version == 7
+        assert loaded.source == "unit"
+        assert loaded.parent_version == 3
+        assert loaded.tag == "t"
+        assert loaded.created_at == pytest.approx(snapshot.created_at)
+        assert loaded.featurizer_signature == canonical_signature(
+            bench.featurizer.signature()
+        )
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        restored = loaded.restore(bench.featurizer)
+        np.testing.assert_allclose(
+            restored.predict(query, plans), network.predict(query, plans)
+        )
+        # And the stateless route works off the loaded state too.
+        examples = [bench.featurizer.featurize(query, plan) for plan in plans]
+        np.testing.assert_allclose(
+            ValueNetwork.from_state_dict(loaded.state).predict_examples(examples),
+            network.predict(query, plans),
+        )
+
+    def test_loaded_weights_are_frozen(self, bench, tmp_path):
+        network = small_network(bench.featurizer)
+        path = ModelSnapshot.capture(network, 1).save(tmp_path / "m.npz")
+        loaded = ModelSnapshot.load(path)
+        weights = loaded.state["weights"]
+        name = next(iter(weights))
+        with pytest.raises(ValueError):
+            weights[name][0] = 1.0
+
+    def test_registry_persists_on_promote(self, bench, tmp_path):
+        registry = ModelRegistry(persist_dir=tmp_path / "models")
+        snapshot = registry.register(small_network(bench.featurizer), source="a")
+        assert not registry.snapshot_path(snapshot.version).exists()
+        registry.promote(snapshot.version)
+        path = registry.snapshot_path(snapshot.version)
+        assert path.exists()
+        assert ModelSnapshot.load(path).version == snapshot.version
+
+    def test_registry_subscribers_follow_promotions_and_rollbacks(self, bench):
+        registry = ModelRegistry()
+        seen: list[int] = []
+        registry.subscribe(lambda snapshot: seen.append(snapshot.version))
+        first = registry.register(small_network(bench.featurizer, seed=0))
+        second = registry.register(small_network(bench.featurizer, seed=1))
+        registry.promote(first.version)
+        registry.promote(second.version)
+        registry.rollback()
+        assert seen == [first.version, second.version, first.version]
+
+    def test_unsubscribed_listeners_stop_receiving(self, bench):
+        registry = ModelRegistry()
+        seen: list[int] = []
+
+        def listener(snapshot):
+            seen.append(snapshot.version)
+
+        registry.subscribe(listener)
+        first = registry.register(small_network(bench.featurizer, seed=0))
+        registry.promote(first.version)
+        registry.unsubscribe(listener)
+        second = registry.register(small_network(bench.featurizer, seed=1))
+        registry.promote(second.version)
+        assert seen == [first.version]
+
+    def test_raising_listener_never_unwinds_a_promotion(self, bench):
+        registry = ModelRegistry()
+
+        def bad_listener(snapshot):
+            raise RuntimeError("listener bug")
+
+        registry.subscribe(bad_listener)
+        snapshot = registry.register(small_network(bench.featurizer))
+        with pytest.warns(RuntimeWarning, match="listener"):
+            registry.promote(snapshot.version)
+        assert registry.serving_version == snapshot.version
+
+    @pytest.mark.skipif(
+        "process" not in BACKENDS, reason="process backend filtered out"
+    )
+    def test_closed_process_backend_detaches_from_registry(self, bench):
+        registry = ModelRegistry()
+        backend = ProcessPoolBackend(
+            bench.featurizer, num_workers=1, submit_timeout_seconds=60.0
+        )
+        backend.follow(registry)
+        spool = backend._spool_dir
+        first = registry.register(small_network(bench.featurizer, seed=0))
+        registry.promote(first.version)
+        backend.close()
+        assert not os.path.exists(spool)
+        # Later promotions must not resurrect the closed backend's spool.
+        second = registry.register(small_network(bench.featurizer, seed=1))
+        registry.promote(second.version)
+        assert not os.path.exists(spool)
+
+
+# ---------------------------------------------------------------------- #
+# The backend matrix: one protocol, three implementations
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestBackendMatrix:
+    def test_submit_matches_direct_predict(
+        self, backend_name, bench, queries, candidate_plans
+    ):
+        network = small_network(bench.featurizer, seed=0)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        backend = make_backend(backend_name, bench)
+        try:
+            np.testing.assert_allclose(
+                backend.submit(query, plans, version=network),
+                network.predict(query, plans),
+            )
+            stats = backend.stats()
+            assert stats.requests == 1
+            assert stats.examples == len(plans)
+        finally:
+            backend.close()
+
+    def test_version_pins_are_respected(
+        self, backend_name, bench, queries, candidate_plans
+    ):
+        net_a = small_network(bench.featurizer, seed=0)
+        net_b = small_network(bench.featurizer, seed=9)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        backend = make_backend(backend_name, bench)
+        try:
+            scored_a = backend.submit(query, plans, version=net_a)
+            scored_b = backend.submit(query, plans, version=net_b)
+            np.testing.assert_allclose(scored_a, net_a.predict(query, plans))
+            np.testing.assert_allclose(scored_b, net_b.predict(query, plans))
+            assert not np.allclose(scored_a, scored_b)
+        finally:
+            backend.close()
+
+    def test_search_through_backend_is_invisible(
+        self, backend_name, bench, queries
+    ):
+        """The refactor must not change what beam search finds."""
+        network = small_network(bench.featurizer, seed=2)
+        planner = small_planner()
+        backend = make_backend(backend_name, bench)
+        try:
+            for query in queries[:3]:
+                direct = planner.search(query, network)
+                routed = planner.search(
+                    query,
+                    network,
+                    score_fn=lambda q, p: backend.submit(q, p, version=network),
+                )
+                assert [p.fingerprint() for p in routed.plans] == [
+                    p.fingerprint() for p in direct.plans
+                ]
+                np.testing.assert_allclose(
+                    routed.predicted_latencies, direct.predicted_latencies
+                )
+        finally:
+            backend.close()
+
+    def test_follow_registry_promotions_propagate_by_version(
+        self, backend_name, bench, queries, candidate_plans
+    ):
+        net_a = small_network(bench.featurizer, seed=0)
+        net_b = small_network(bench.featurizer, seed=9)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        registry = ModelRegistry()
+        backend = make_backend(backend_name, bench)
+        try:
+            backend.follow(registry)
+            first = registry.register(net_a)
+            registry.promote(first.version)
+            np.testing.assert_allclose(
+                backend.submit(query, plans), net_a.predict(query, plans)
+            )
+            second = registry.register(net_b)
+            registry.promote(second.version)
+            np.testing.assert_allclose(
+                backend.submit(query, plans), net_b.predict(query, plans)
+            )
+            # Explicit registry-version pins resolve too (old version stays
+            # servable for in-flight requests pinned before the promotion).
+            np.testing.assert_allclose(
+                backend.submit(query, plans, version=first.version),
+                net_a.predict(query, plans),
+            )
+        finally:
+            backend.close()
+
+    def test_empty_plans_scored_as_empty(self, backend_name, bench, queries):
+        backend = make_backend(backend_name, bench)
+        try:
+            result = backend.submit(queries[0], [])
+            assert result.shape == (0,)
+        finally:
+            backend.close()
+
+    def test_closed_backend_rejects_submits(
+        self, backend_name, bench, queries, candidate_plans
+    ):
+        network = small_network(bench.featurizer)
+        backend = make_backend(backend_name, bench)
+        backend.close()
+        with pytest.raises(RuntimeError):
+            backend.submit(
+                queries[0], candidate_plans[queries[0].name], version=network
+            )
+
+    def test_max_batch_records_true_chunk_sizes(
+        self, backend_name, bench, queries, candidate_plans
+    ):
+        """Regression: ``max_batch_examples`` is the largest chunk actually
+        run, and chunking accounts for every example exactly once."""
+        network = small_network(bench.featurizer)
+        query = queries[0]
+        plans = list(candidate_plans[query.name])
+        assert len(plans) >= 3
+        backend = make_backend(backend_name, bench, max_batch_size=2)
+        try:
+            predictions = backend.submit(query, plans, version=network)
+            np.testing.assert_allclose(predictions, network.predict(query, plans))
+            stats = backend.stats()
+            assert stats.examples == len(plans)
+            expected_batches = (len(plans) + 1) // 2
+            assert stats.forward_batches == expected_batches
+            assert stats.max_batch_examples == 2
+        finally:
+            backend.close()
+
+    def test_service_parity_with_serial_search(self, backend_name, bench, queries):
+        network = small_network(bench.featurizer, seed=5)
+        planner = small_planner()
+        serial = [planner.search(query, network) for query in queries]
+        with PlannerService(
+            network,
+            planner=small_planner(),
+            max_workers=2,
+            scoring_backend=backend_name,
+        ) as service:
+            responses = service.plan_many(queries)
+            for direct, response in zip(serial, responses):
+                assert not response.cache_hit
+                assert response.best_plan.fingerprint() == (
+                    direct.best_plan.fingerprint()
+                )
+            # Coalesced traffic under the same backend stays correct.
+            warm = service.plan_many(queries)
+            assert all(response.cache_hit for response in warm)
+
+
+# ---------------------------------------------------------------------- #
+# Stats snapshots cannot drift (dataclasses.replace copies every field)
+# ---------------------------------------------------------------------- #
+class TestStatsSnapshotDrift:
+    def test_every_field_survives_the_snapshot(self, bench):
+        backend = ThreadedBatchingBackend(
+            lambda: None, featurizer=bench.featurizer
+        )
+        try:
+            internal = backend._core._stats
+            for index, field in enumerate(dataclasses.fields(ScoringBridgeStats)):
+                setattr(internal, field.name, index + 1)
+            snapshot = backend.stats()
+            for index, field in enumerate(dataclasses.fields(ScoringBridgeStats)):
+                assert getattr(snapshot, field.name) == index + 1, (
+                    f"stats() dropped field {field.name!r}; snapshots must use "
+                    f"dataclasses.replace, not hand-copied fields"
+                )
+            # The snapshot is a copy: mutating it never touches the counters.
+            snapshot.requests = 10_000
+            assert backend._core._stats.requests != 10_000
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------- #
+# Process-backend failure modes
+# ---------------------------------------------------------------------- #
+@pytest.mark.skipif("process" not in BACKENDS, reason="process backend filtered out")
+class TestProcessBackendFailures:
+    def test_crash_mid_batch_surfaces_typed_error_not_hang(
+        self, bench, queries, candidate_plans
+    ):
+        network = small_network(bench.featurizer)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        backend = ProcessPoolBackend(
+            bench.featurizer, num_workers=2, submit_timeout_seconds=60.0
+        )
+        backend._allow_crash_token = True
+        try:
+            # Warm path first: both workers serve.
+            backend.submit(query, plans, version=network)
+            with pytest.raises(ScoringBackendError, match="died mid-batch"):
+                backend.submit(query, plans, version=_CRASH_TOKEN)
+            assert backend.stats().worker_crashes == 1
+            # The surviving worker keeps serving subsequent requests.
+            np.testing.assert_allclose(
+                backend.submit(query, plans, version=network),
+                network.predict(query, plans),
+            )
+            assert backend.alive_workers() == 1
+        finally:
+            backend.close()
+
+    def test_all_workers_dead_rejects_immediately(
+        self, bench, queries, candidate_plans
+    ):
+        network = small_network(bench.featurizer)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        backend = ProcessPoolBackend(
+            bench.featurizer, num_workers=2, submit_timeout_seconds=60.0
+        )
+        backend._allow_crash_token = True
+        try:
+            for _ in range(2):
+                with pytest.raises(ScoringBackendError):
+                    backend.submit(query, plans, version=_CRASH_TOKEN)
+            assert backend.alive_workers() == 0
+            with pytest.raises(ScoringBackendError, match="all scorer processes"):
+                backend.submit(query, plans, version=network)
+        finally:
+            backend.close()
+
+    def test_unresolvable_version_is_typed(self, bench, queries, candidate_plans):
+        backend = ProcessPoolBackend(
+            bench.featurizer, num_workers=1, submit_timeout_seconds=60.0
+        )
+        try:
+            with pytest.raises(ScoringBackendError, match="not .*following"):
+                backend.submit(queries[0], candidate_plans[queries[0].name], version=42)
+            # Negative pins (including an unarmed crash token) never reach
+            # the scorer processes.
+            with pytest.raises(ScoringBackendError, match="cannot resolve"):
+                backend.submit(
+                    queries[0], candidate_plans[queries[0].name], version=_CRASH_TOKEN
+                )
+            assert backend.alive_workers() == 1
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------- #
+# Service fallback after repeated backend failures
+# ---------------------------------------------------------------------- #
+class _AlwaysFailingBackend:
+    """A protocol-complete backend whose every submit fails."""
+
+    def __init__(self):
+        self.submits = 0
+        self.closed = False
+        self._lock = threading.Lock()
+
+    def submit(self, query, plans, version=None):
+        with self._lock:
+            self.submits += 1
+        raise ScoringBackendError("injected: scorer pool unavailable")
+
+    def follow(self, registry):
+        pass
+
+    def stats(self):
+        return ScoringBridgeStats()
+
+    def close(self):
+        self.closed = True
+
+
+class TestServiceFallback:
+    def test_falls_back_to_in_process_after_max_failures(self, bench, queries):
+        network = small_network(bench.featurizer)
+        failing = _AlwaysFailingBackend()
+        service = PlannerService(
+            network,
+            planner=small_planner(),
+            max_workers=1,
+            scoring_backend=failing,
+            max_backend_failures=2,
+        )
+        with service:
+            # Failures surface to the waiting search as the typed error...
+            for _ in range(2):
+                with pytest.raises(ScoringBackendError):
+                    service.plan(queries[0])
+            # ...and past the cap the service serves via in-process scoring.
+            response = service.plan(queries[0])
+            assert response.plans
+            reference = small_planner().search(queries[0], network)
+            assert response.best_plan.fingerprint() == (
+                reference.best_plan.fingerprint()
+            )
+            metrics = service.metrics()
+            assert metrics.scoring_backend_failures == 2
+            assert metrics.scoring_fallbacks == 1
+            assert metrics.as_dict()["scoring_fallbacks"] == 1
+        assert failing.closed  # the abandoned backend is still closed with us
+
+    def test_fallback_disabled_keeps_failing(self, bench, queries):
+        network = small_network(bench.featurizer)
+        service = PlannerService(
+            network,
+            planner=small_planner(),
+            max_workers=1,
+            scoring_backend=_AlwaysFailingBackend(),
+            max_backend_failures=None,
+        )
+        with service:
+            for _ in range(4):
+                with pytest.raises(ScoringBackendError):
+                    service.plan(queries[0])
+            assert service.metrics().scoring_fallbacks == 0
+
+    def test_successes_reset_the_consecutive_counter(self, bench, queries):
+        """Intermittent failures below the cap must never trip the fallback."""
+        network = small_network(bench.featurizer)
+
+        class Flaky(InProcessBackend):
+            def __init__(self):
+                super().__init__(lambda: network)
+                self.calls = 0
+
+            def submit(self, query, plans, version=None):
+                self.calls += 1
+                # Two isolated failures with a success in between: the
+                # consecutive counter resets and never reaches the cap of 2.
+                if self.calls in (1, 3):
+                    raise ScoringBackendError("flaky")
+                return super().submit(query, plans, version)
+
+        service = PlannerService(
+            network,
+            planner=small_planner(),
+            max_workers=1,
+            scoring_backend=Flaky(),
+            max_backend_failures=2,
+        )
+        with service:
+            served = 0
+            for _ in range(6):
+                try:
+                    response = service.plan(
+                        PlanRequest(query=queries[0], k=2)
+                    )
+                except ScoringBackendError:
+                    continue
+                served += 1
+                assert response.plans
+            assert served > 0
+            assert service.metrics().scoring_fallbacks == 0
