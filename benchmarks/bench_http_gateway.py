@@ -1,0 +1,168 @@
+"""HTTP gateway load benchmark: p50/p99 latency and QPS vs the in-process path.
+
+Not a paper figure — this measures the serving gateway added on top of the
+in-process stack.  The bench boots a :class:`~repro.server.app.PlanningServer`
+on an ephemeral loopback port, drives it with a multi-threaded load-generating
+client (every request a real HTTP exchange, queries referenced by name), and
+compares against the identical workload planned through the in-process
+``PlannerService`` directly:
+
+- **cold pass** — each distinct (query, k) planned once (cache misses);
+- **warm pass** — the load clients hammer the same workload concurrently, so
+  requests ride the plan cache exactly as steady-state traffic would;
+- the in-process warm pass over the same request stream isolates the HTTP
+  overhead (connection setup + JSON codec + threading) per request.
+
+Headline figures land in ``benchmark.extra_info`` so ``--benchmark-json``
+artifacts expose them to CI: ``http_warm_p50_ms``, ``http_warm_p99_ms``,
+``http_qps``, ``inproc_warm_p50_ms``, ``http_overhead_p50_ms``, and
+``failed_requests`` (must be 0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+from benchmarks.conftest import run_once
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.planning.envelope import PlanRequest
+from repro.search.beam import BeamSearchPlanner
+from repro.server import PlanningServer
+from repro.service.service import PlannerService
+from repro.workloads.benchmark import make_job_benchmark
+
+#: CI smoke mode (REPRO_BENCH_QUICK=1) shrinks the workload further.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+NUM_CLIENTS = 2 if QUICK else 4
+REQUESTS_PER_CLIENT = 20 if QUICK else 100
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def _post_plan(base_url: str, payload: dict, timeout: float = 60.0) -> dict:
+    request = urllib.request.Request(
+        f"{base_url}/v1/plan",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        if response.status != 200:
+            raise RuntimeError(f"HTTP {response.status}")
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _run_gateway_load() -> dict:
+    bundle = make_job_benchmark(
+        fact_rows=300, num_queries=8, num_templates=4, test_size=2,
+        seed=0, size_range=(3, 4),
+    )
+    queries = list(bundle.train_queries)
+    network = ValueNetwork(
+        bundle.featurizer,
+        ValueNetworkConfig(
+            query_hidden=16, query_embedding=8, tree_channels=(16, 8),
+            head_hidden=8, seed=0,
+        ),
+    )
+    planner = BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=False)
+    service = PlannerService(network, planner=planner, max_workers=4)
+    gateway = PlanningServer(service, queries=queries).start()
+    failures = [0]
+    try:
+        base_url = gateway.base_url
+
+        # Cold pass: every distinct query planned once over HTTP.
+        cold_latencies: list[float] = []
+        for query in queries:
+            started = time.perf_counter()
+            body = _post_plan(base_url, {"query": query.name, "k": 2})
+            cold_latencies.append(time.perf_counter() - started)
+            assert body["plans"], f"no plans for {query.name}"
+
+        # Warm pass: concurrent clients over the (now cached) workload.
+        latencies_per_client: list[list[float]] = [[] for _ in range(NUM_CLIENTS)]
+
+        def client(slot: int) -> None:
+            for index in range(REQUESTS_PER_CLIENT):
+                query = queries[(slot + index) % len(queries)]
+                started = time.perf_counter()
+                try:
+                    body = _post_plan(base_url, {"query": query.name, "k": 2})
+                    if not body["plans"]:
+                        failures[0] += 1
+                except Exception:  # noqa: BLE001 - counted, not hidden
+                    failures[0] += 1
+                latencies_per_client[slot].append(time.perf_counter() - started)
+
+        threads = [
+            threading.Thread(target=client, args=(slot,)) for slot in range(NUM_CLIENTS)
+        ]
+        warm_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        warm_seconds = time.perf_counter() - warm_started
+        warm_latencies = [value for chunk in latencies_per_client for value in chunk]
+
+        # In-process warm pass over the identical request stream.
+        inproc_latencies: list[float] = []
+        for index in range(NUM_CLIENTS * REQUESTS_PER_CLIENT):
+            query = queries[index % len(queries)]
+            started = time.perf_counter()
+            response = service.plan(PlanRequest(query=query, k=2))
+            inproc_latencies.append(time.perf_counter() - started)
+            assert response.plans
+
+        metrics = service.metrics()
+    finally:
+        gateway.close()
+        service.close()
+
+    http_p50 = _percentile(warm_latencies, 0.50)
+    inproc_p50 = _percentile(inproc_latencies, 0.50)
+    return {
+        "queries": len(queries),
+        "clients": NUM_CLIENTS,
+        "http_requests": len(warm_latencies) + len(cold_latencies),
+        "failed_requests": failures[0],
+        "http_cold_p50_ms": _percentile(cold_latencies, 0.50) * 1e3,
+        "http_warm_p50_ms": http_p50 * 1e3,
+        "http_warm_p99_ms": _percentile(warm_latencies, 0.99) * 1e3,
+        "http_qps": len(warm_latencies) / max(warm_seconds, 1e-9),
+        "inproc_warm_p50_ms": inproc_p50 * 1e3,
+        "inproc_warm_p99_ms": _percentile(inproc_latencies, 0.99) * 1e3,
+        "http_overhead_p50_ms": (http_p50 - inproc_p50) * 1e3,
+        "service_cache_hit_rate": metrics.hit_rate,
+    }
+
+
+def bench_http_gateway(benchmark):
+    result = run_once(benchmark, _run_gateway_load)
+    print()
+    print(
+        f"gateway load: {result['http_requests']} HTTP requests from "
+        f"{result['clients']} clients, {result['failed_requests']} failed"
+    )
+    print(
+        f"warm latency: http p50 {result['http_warm_p50_ms']:.2f}ms / "
+        f"p99 {result['http_warm_p99_ms']:.2f}ms at "
+        f"{result['http_qps']:.0f} q/s; in-process p50 "
+        f"{result['inproc_warm_p50_ms']:.2f}ms "
+        f"(HTTP overhead {result['http_overhead_p50_ms']:.2f}ms/request)"
+    )
+    assert result["failed_requests"] == 0
+    for key, value in result.items():
+        benchmark.extra_info[key] = round(float(value), 4)

@@ -1,0 +1,195 @@
+"""Serve the planning stack over HTTP: the full gateway, end to end.
+
+Builds a small JOB-like benchmark, stands up the serving stack — planner
+service, persisted model registry, live-traffic shadower — and boots the
+stdlib-only HTTP gateway.  In ``--smoke`` mode the script then exercises the
+API against itself (plan by name, plan a structural query, metrics, models,
+promote + automatic-shadow arming, rollback) and exits; without it the
+gateway serves until interrupted.
+
+Run with::
+
+    python examples/serve_http.py --smoke            # self-exercise and exit
+    python examples/serve_http.py --port 8080        # serve until Ctrl-C
+
+With ``--persist-dir``, a restart resumes the last promoted model::
+
+    python examples/serve_http.py --persist-dir /tmp/repro-models --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.costmodel.cout import CoutCostModel
+from repro.lifecycle import LifecycleError, ModelRegistry
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.search.beam import BeamSearchPlanner
+from repro.server import PlanningServer, TrafficShadower
+from repro.service.service import PlannerService
+from repro.workloads.benchmark import make_job_benchmark
+
+
+def http(method: str, url: str, payload: dict | None = None) -> tuple[int, dict]:
+    """One JSON exchange against the gateway."""
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def smoke(base_url: str, query_names: list[str]) -> None:
+    """Exercise every endpoint once and print what happened."""
+    status, body = http("GET", f"{base_url}/healthz")
+    print(f"GET /healthz -> {status}: serving v{body['serving_version']}")
+
+    status, body = http("POST", f"{base_url}/v1/plan", {"query": query_names[0], "k": 2})
+    print(
+        f"POST /v1/plan ({query_names[0]!r}) -> {status}: "
+        f"{len(body['plans'])} plans, best predicted "
+        f"{body['predicted_latencies'][0]}"
+    )
+
+    status, body = http(
+        "POST", f"{base_url}/v1/plan_many",
+        {"requests": [{"query": name} for name in query_names]},
+    )
+    print(f"POST /v1/plan_many -> {status}: {len(body['results'])} results")
+
+    status, body = http("GET", f"{base_url}/v1/metrics")
+    default = body["planners"]["default"]
+    print(
+        f"GET /v1/metrics -> {status}: {default['requests']} requests, "
+        f"{default['cache_hits']} cache hits, shadow observed "
+        f"{body['shadow']['observed'] if body['shadow'] else 0}"
+    )
+
+    status, body = http("GET", f"{base_url}/v1/models")
+    print(
+        f"GET /v1/models -> {status}: versions {body['versions']}, "
+        f"serving v{body['serving_version']}"
+    )
+    candidates = [v for v in body["versions"] if v != body["serving_version"]]
+    if candidates:
+        target = candidates[-1]
+        status, body = http(
+            "POST", f"{base_url}/v1/models/promote", {"version": target}
+        )
+        print(
+            f"POST /v1/models/promote v{target} -> {status}: serving "
+            f"v{body['serving_version']} (shadow armed: "
+            f"{body.get('shadow_armed', False)})"
+        )
+        # A little live traffic for the shadower to sample...
+        for name in query_names:
+            http("POST", f"{base_url}/v1/plan", {"query": name})
+        time.sleep(0.2)
+        status, body = http("POST", f"{base_url}/v1/models/rollback")
+        print(
+            f"POST /v1/models/rollback -> {status}: serving "
+            f"v{body['serving_version']}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument(
+        "--persist-dir", type=Path, default=None,
+        help="registry directory; restarts resume the last promoted model",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="exercise every endpoint against the booted gateway, then exit",
+    )
+    args = parser.parse_args()
+
+    # 1. The workload and the serving stack.
+    benchmark = make_job_benchmark(
+        fact_rows=400, num_queries=12, num_templates=4, test_size=3,
+        seed=0, size_range=(3, 5),
+    )
+    queries = benchmark.all_queries()
+    network = ValueNetwork(
+        benchmark.featurizer,
+        ValueNetworkConfig(
+            query_hidden=16, query_embedding=8, tree_channels=(16, 8),
+            head_hidden=8, seed=0,
+        ),
+    )
+    planner = BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=False)
+    service = PlannerService(network, planner=planner, max_workers=4)
+
+    # 2. The model registry: resume a persisted serving chain when possible.
+    registry = None
+    if args.persist_dir is not None:
+        try:
+            registry = ModelRegistry.load_persisted(args.persist_dir)
+            print(
+                f"resumed registry from {args.persist_dir}: serving "
+                f"v{registry.serving_version}, versions {registry.versions()}"
+            )
+        except LifecycleError:
+            pass
+    if registry is None:
+        registry = ModelRegistry(persist_dir=args.persist_dir)
+        baseline = registry.register(network, source="baseline")
+        registry.promote(baseline.version)
+        # A second registered (not promoted) version gives the promote
+        # endpoint something to work with.
+        registry.register(network.clone(), source="candidate")
+
+    # 3. Live-traffic shadow scoring with automatic rollback.
+    shadower = TrafficShadower(
+        service,
+        registry,
+        CoutCostModel(benchmark.estimator).cost,
+        sample_fraction=0.25,
+        max_regression=2.0,
+        max_total_regression=1.25,
+        planner=planner,
+        featurizer=benchmark.featurizer,
+    )
+
+    gateway = PlanningServer(
+        service,
+        registry=registry,
+        shadower=shadower,
+        planner_registry=None,
+        queries=queries,
+        featurizer=benchmark.featurizer,
+        host=args.host,
+        port=args.port,
+    ).start()
+    print(f"gateway listening on {gateway.base_url}")
+    print(f"  try: curl -s {gateway.base_url}/healthz")
+
+    try:
+        if args.smoke:
+            smoke(gateway.base_url, [query.name for query in queries[:5]])
+            print("smoke: every endpoint answered")
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        gateway.close()
+        shadower.close()
+        service.close()
+
+
+if __name__ == "__main__":
+    main()

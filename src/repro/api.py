@@ -62,6 +62,18 @@ from repro.scoring import (
     make_scoring_backend,
 )
 from repro.search.beam import BeamSearchPlanner
+from repro.server import (
+    PlanningServer,
+    ShadowTrafficStats,
+    TrafficShadower,
+    WireFormatError,
+    plan_request_from_json_dict,
+    plan_request_to_json_dict,
+    plan_result_from_json_dict,
+    plan_result_to_json_dict,
+    query_from_json_dict,
+    query_to_json_dict,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.service import PlannerService, ServiceResponse
 from repro.workloads.benchmark import (
@@ -91,6 +103,7 @@ __all__ = [
     "PlannerRegistry",
     "PlannerService",
     "PlanningError",
+    "PlanningServer",
     "PlanRequest",
     "PlanResult",
     "ProcessPoolBackend",
@@ -101,15 +114,24 @@ __all__ = [
     "ServiceMetrics",
     "ServiceResponse",
     "ShadowEvaluator",
+    "ShadowTrafficStats",
     "StateDictMismatchError",
     "ThreadedBatchingBackend",
+    "TrafficShadower",
     "UnknownPlannerError",
+    "WireFormatError",
     "WorkloadBenchmark",
     "make_job_benchmark",
     "make_scoring_backend",
     "make_tpch_benchmark",
     "merge_agent_experiences",
+    "plan_request_from_json_dict",
+    "plan_request_to_json_dict",
+    "plan_result_from_json_dict",
+    "plan_result_to_json_dict",
     "planner_version",
+    "query_from_json_dict",
+    "query_to_json_dict",
     "registry_from_benchmark",
     "retrain_from_experience",
 ]

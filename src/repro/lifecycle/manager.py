@@ -18,6 +18,14 @@
 
 :meth:`rollback` reverts to the previously serving version — same swap, same
 warming — for when post-promotion monitoring disagrees with the gate.
+
+Post-promotion monitoring itself plugs in through
+:meth:`ModelLifecycle.attach_live_monitor`: a
+:class:`~repro.server.shadow_traffic.TrafficShadower` (or anything with the
+same ``watch``/``disarm`` surface) is armed after every promotion with the
+(candidate, displaced-baseline) version pair, shadow-scores *live* traffic
+against the pair, and calls :meth:`rollback` when the regression bound
+breaks on what users actually run — not just on the probe workload.
 """
 
 from __future__ import annotations
@@ -67,6 +75,18 @@ class ModelLifecycle:
             list(warm_queries) if warm_queries is not None else list(shadow.probe_queries)
         )
         self._featurizer = featurizer
+        #: Optional live-traffic monitor (``watch``/``disarm`` duck type),
+        #: armed on every promotion with (candidate, displaced baseline).
+        self.live_monitor = None
+
+    def attach_live_monitor(self, monitor) -> None:
+        """Arm ``monitor`` after every promotion (see module docstring).
+
+        ``monitor`` needs ``watch(candidate_version, baseline_version)`` and
+        ``disarm()`` — the :class:`~repro.server.shadow_traffic.TrafficShadower`
+        surface.  Monitor failures never unwind an applied promotion.
+        """
+        self.live_monitor = monitor
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -180,9 +200,27 @@ class ModelLifecycle:
             self.service.swap_network(candidate)
             self.registry.promote(snapshot.version)
             self.warm()
+            self._arm_live_monitor(snapshot.version, serving_version)
         else:
             self.service.record_promotion_rejected()
         return decision
+
+    def _arm_live_monitor(
+        self, candidate_version: int, baseline_version: int | None
+    ) -> None:
+        """Point the live monitor at the promotion that just landed."""
+        if self.live_monitor is None:
+            return
+        import warnings
+
+        try:
+            self.live_monitor.watch(candidate_version, baseline_version)
+        except Exception as error:  # noqa: BLE001 - advisory path
+            warnings.warn(
+                f"live monitor failed to arm for v{candidate_version}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def warm(self) -> int:
         """Replan the known workload so post-swap traffic hits the cache."""
@@ -193,12 +231,32 @@ class ModelLifecycle:
     # ------------------------------------------------------------------ #
     # Rollback
     # ------------------------------------------------------------------ #
-    def rollback(self) -> ModelSnapshot:
-        """Revert serving to the previously promoted version (and rewarm)."""
-        snapshot = self.registry.rollback()
+    def rollback(self, expected_serving: int | None = None) -> ModelSnapshot:
+        """Revert serving to the previously promoted version (and rewarm).
+
+        ``expected_serving`` is the registry's compare-and-rollback guard: a
+        stale verdict (the live monitor condemning a version a concurrent
+        promotion already displaced) aborts with a ``LifecycleError``
+        instead of unseating the fresh promotion.
+
+        A rollback retires whatever promotion the live monitor was watching,
+        so the monitor is disarmed (it re-arms on the next promotion).
+        """
+        snapshot = self.registry.rollback(expected_serving=expected_serving)
         network = snapshot.restore(self._featurizer_for(self._serving_network()))
         self.service.swap_network(network)
         self.warm()
+        if self.live_monitor is not None:
+            import warnings
+
+            try:
+                self.live_monitor.disarm()
+            except Exception as error:  # noqa: BLE001 - rollback already applied
+                warnings.warn(
+                    f"live monitor failed to disarm: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return snapshot
 
     # ------------------------------------------------------------------ #

@@ -14,6 +14,9 @@ they like.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import re
 import threading
 import warnings
 from pathlib import Path
@@ -108,6 +111,15 @@ class ModelRegistry:
         with self._lock:
             return sorted(self._snapshots)
 
+    def snapshots(self) -> list[ModelSnapshot]:
+        """A consistent list of the retained snapshots, ascending by version.
+
+        One lock acquisition — callers iterating ``versions()`` and calling
+        :meth:`get` per entry would race concurrent retention eviction.
+        """
+        with self._lock:
+            return [self._snapshots[version] for version in sorted(self._snapshots)]
+
     def latest(self) -> ModelSnapshot:
         """The most recently registered snapshot."""
         with self._lock:
@@ -144,6 +156,11 @@ class ModelRegistry:
                 raise LifecycleError("no version has been promoted yet")
             return self.get(version)
 
+    def serving_history(self) -> list[int]:
+        """The promote/rollback chain, oldest first (last entry is serving)."""
+        with self._lock:
+            return list(self._serving_history)
+
     def promote(self, version: int) -> ModelSnapshot:
         """Mark ``version`` as serving (it must be registered).
 
@@ -168,17 +185,33 @@ class ModelRegistry:
         self._serving_changed()
         return snapshot
 
-    def rollback(self) -> ModelSnapshot:
+    def rollback(self, expected_serving: int | None = None) -> ModelSnapshot:
         """Revert the serving pointer to the previously serving version.
+
+        Args:
+            expected_serving: Optional compare-and-rollback guard: the
+                rollback only applies if this version is still the serving
+                one (checked under the registry lock, so a concurrent
+                promotion cannot be unseated by a stale verdict — the
+                live-traffic shadower's automatic rollback uses this).
 
         Returns:
             The snapshot that is serving after the rollback.
 
         Raises:
             LifecycleError: Nothing to roll back to (fewer than two
-                promotions recorded).
+                promotions recorded), or ``expected_serving`` no longer
+                matches the serving version.
         """
         with self._lock:
+            if (
+                expected_serving is not None
+                and self.serving_version != expected_serving
+            ):
+                raise LifecycleError(
+                    f"rollback aborted: expected v{expected_serving} serving, "
+                    f"but v{self.serving_version} is"
+                )
             if len(self._serving_history) < 2:
                 raise LifecycleError(
                     "nothing to roll back to: fewer than two promotions recorded"
@@ -216,6 +249,122 @@ class ModelRegistry:
             raise LifecycleError("registry has no persist_dir configured")
         return self.persist_dir / f"model-v{version}.npz"
 
+    def manifest_path(self) -> Path:
+        """Where the serving-chain manifest is persisted on disk."""
+        if self.persist_dir is None:
+            raise LifecycleError("registry has no persist_dir configured")
+        return self.persist_dir / "serving.json"
+
+    def _write_manifest(self) -> None:
+        """Mirror the serving chain to ``serving.json`` (write-then-rename).
+
+        The snapshot files alone cannot tell a restarted gateway *which*
+        version was serving — after a rollback the newest file on disk is
+        exactly the version that was rolled away from — so the chain itself
+        is persisted alongside them.
+        """
+        with self._lock:
+            manifest = {
+                "format": "model-registry-v1",
+                "serving_history": list(self._serving_history),
+                "next_version": self._next_version,
+            }
+        path = self.manifest_path()
+        partial = path.with_name(path.name + ".partial")
+        partial.write_text(json.dumps(manifest))
+        partial.replace(path)
+
+    @classmethod
+    def load_persisted(
+        cls, persist_dir: str | Path, retention: int = 16
+    ) -> "ModelRegistry":
+        """Restore a registry (snapshots + serving chain) from ``persist_dir``.
+
+        The inverse of ``ModelRegistry(persist_dir=...)``'s mirroring: every
+        ``model-v<N>.npz`` the serving chain left behind is loaded back under
+        its original version number, and ``serving.json`` restores the
+        promote/rollback chain — so a restarted gateway resumes serving the
+        last promoted model, with the previous version still available as a
+        rollback target.  Version numbering continues where the previous
+        process stopped.
+
+        Corrupt or torn snapshot files are skipped with a
+        :class:`RuntimeWarning` (a chain whose serving version cannot be
+        loaded falls back to the newest loadable snapshot).
+
+        Args:
+            persist_dir: Directory a previous registry mirrored into.
+            retention: Retention policy of the restored registry.
+
+        Raises:
+            LifecycleError: ``persist_dir`` holds no loadable snapshots.
+        """
+        persist_dir = Path(persist_dir)
+        registry = cls(retention=retention, persist_dir=persist_dir)
+        loaded: dict[int, ModelSnapshot] = {}
+        for path in sorted(persist_dir.glob("model-v*.npz")):
+            match = re.fullmatch(r"model-v(\d+)\.npz", path.name)
+            if match is None:
+                continue
+            try:
+                snapshot = ModelSnapshot.load(path)
+            except Exception as error:  # noqa: BLE001 - skip torn files
+                warnings.warn(
+                    f"skipping unloadable snapshot {path.name}: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            version = int(match.group(1))
+            if snapshot.version != version:
+                # The filename is authoritative (replace, not a hand-copied
+                # constructor call, so future snapshot fields survive).
+                snapshot = dataclasses.replace(snapshot, version=version)
+            loaded[version] = snapshot
+        if not loaded:
+            raise LifecycleError(
+                f"no loadable model snapshots under {persist_dir}"
+            )
+        history: list[int] = []
+        next_version = max(loaded) + 1
+        manifest_path = persist_dir / "serving.json"
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text())
+                if not isinstance(manifest, dict):
+                    raise ValueError(
+                        f"expected a JSON object, got {type(manifest).__name__}"
+                    )
+                history = [
+                    version
+                    for version in manifest.get("serving_history", [])
+                    if isinstance(version, int) and version in loaded
+                ]
+                next_version = max(
+                    next_version, int(manifest.get("next_version", next_version))
+                )
+            except (ValueError, TypeError) as error:
+                warnings.warn(
+                    f"ignoring corrupt serving manifest {manifest_path.name}: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if not history:
+            # No (usable) manifest: the newest loadable snapshot was the last
+            # one the old registry wrote on a serving change.
+            history = [max(loaded)]
+        # Collapse duplicates rollback pruning may have produced.
+        collapsed: list[int] = []
+        for version in history:
+            if not collapsed or collapsed[-1] != version:
+                collapsed.append(version)
+        with registry._lock:
+            registry._snapshots = loaded
+            registry._serving_history = collapsed
+            registry._next_version = next_version
+            registry._evict_locked()
+        return registry
+
     def _serving_changed(self) -> None:
         # Re-read the serving pointer under the notify lock rather than
         # trusting the triggering call's snapshot: when promote/rollback race,
@@ -234,6 +383,7 @@ class ModelRegistry:
                     path = self.snapshot_path(snapshot.version)
                     if not path.exists():
                         snapshot.save(path)
+                    self._write_manifest()
                 except OSError as error:
                     warnings.warn(
                         f"could not persist serving snapshot v{snapshot.version}: "

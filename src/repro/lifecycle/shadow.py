@@ -86,6 +86,19 @@ class PromotionDecision:
         """The probe with the largest regression (None without probes)."""
         return max(self.probes, key=lambda p: p.regression) if self.probes else None
 
+    def to_json_dict(self) -> dict:
+        """JSON-safe dict form (see :mod:`repro.server.wire`)."""
+        from repro.server.wire import promotion_decision_to_json_dict
+
+        return promotion_decision_to_json_dict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: object) -> "PromotionDecision":
+        """Decode :meth:`to_json_dict` output; ``WireFormatError`` on bad input."""
+        from repro.server.wire import promotion_decision_from_json_dict
+
+        return promotion_decision_from_json_dict(payload)
+
     def format_report(self) -> str:
         """A short human-readable summary of the decision."""
         verdict = "PROMOTED" if self.promoted else "REJECTED"

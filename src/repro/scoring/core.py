@@ -96,6 +96,11 @@ class ScoringCore:
         with self._lock:
             self._stats.worker_crashes += 1
 
+    def count_respawn(self) -> None:
+        """Count one crashed scorer process replaced with a fresh one."""
+        with self._lock:
+            self._stats.workers_respawned += 1
+
     def snapshot(self) -> ScoringBridgeStats:
         """A consistent copy of the counters.
 

@@ -160,6 +160,12 @@ class ProcessPoolBackend:
         start_method: ``multiprocessing`` start method (default ``"spawn"``:
             safe with the serving layer's threads; pass ``"fork"`` to trade
             that safety for faster startup).
+        max_respawns: Crashed scorer processes the collector may replace
+            with fresh ones (pool-wide budget; 0 keeps the historical
+            survive-on-the-remaining-pool behaviour).  A respawned worker
+            restores snapshots from the spool on demand, so no state is
+            lost; the requests in flight on the crashed worker still fail
+            with their typed error.
     """
 
     def __init__(
@@ -172,9 +178,12 @@ class ProcessPoolBackend:
         max_batch_size: int = 512,
         submit_timeout_seconds: float = 120.0,
         start_method: str = "spawn",
+        max_respawns: int = 0,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
         self._featurizer = featurizer
         self.network_provider = network_provider
         self.submit_timeout_seconds = submit_timeout_seconds
@@ -197,25 +206,15 @@ class ProcessPoolBackend:
         self._next_worker = 0
         self._closed = False
 
+        self.max_respawns = max_respawns
+        self._respawns_used = 0
         context = multiprocessing.get_context(start_method)
+        self._context = context
         self._result_queue = context.Queue()
         self._task_queues = []
         self._processes = []
         for worker_id in range(num_workers):
-            task_queue = context.Queue()
-            process = context.Process(
-                target=_scorer_main,
-                args=(
-                    worker_id,
-                    self._spool_dir,
-                    task_queue,
-                    self._result_queue,
-                    max_batch_size,
-                ),
-                name=f"repro-scorer-{worker_id}",
-                daemon=True,
-            )
-            process.start()
+            task_queue, process = self._spawn_worker(worker_id)
             self._task_queues.append(task_queue)
             self._processes.append(process)
         self._dead = [False] * num_workers
@@ -224,6 +223,24 @@ class ProcessPoolBackend:
             target=self._collect, name="scoring-collector", daemon=True
         )
         self._collector.start()
+
+    def _spawn_worker(self, worker_id: int):
+        """Start one scorer process; returns its ``(task_queue, process)``."""
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_scorer_main,
+            args=(
+                worker_id,
+                self._spool_dir,
+                task_queue,
+                self._result_queue,
+                self._core.max_batch_size,
+            ),
+            name=f"repro-scorer-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return task_queue, process
 
     @property
     def num_workers(self) -> int:
@@ -417,7 +434,13 @@ class ProcessPoolBackend:
             try:
                 request_id, ok, data, chunk_sizes = self._result_queue.get(timeout=0.1)
             except Empty:
-                self._reap_dead_workers()
+                try:
+                    self._reap_dead_workers()
+                except Exception:  # noqa: BLE001 - collector must survive
+                    # A failed reap/respawn (fd pressure, spawn errors) must
+                    # not kill the collector: pending replies would otherwise
+                    # wait out their full timeout with nobody listening.
+                    pass
                 continue
             except (EOFError, OSError, ValueError):
                 return  # queue torn down during close()
@@ -434,7 +457,13 @@ class ProcessPoolBackend:
             pending.done.set()
 
     def _reap_dead_workers(self) -> None:
-        """Fail the in-flight requests of workers that died mid-batch."""
+        """Fail the in-flight requests of workers that died mid-batch.
+
+        With a ``max_respawns`` budget remaining, the dead worker is then
+        replaced with a fresh process on the same slot (restoring snapshots
+        from the spool on demand), so a transient crash costs one batch
+        instead of permanently shrinking the pool.
+        """
         for index, process in enumerate(self._processes):
             if self._dead[index] or process.is_alive():
                 continue
@@ -455,6 +484,36 @@ class ProcessPoolBackend:
                     f"with exit code {process.exitcode}"
                 )
                 pending.done.set()
+            self._respawn_worker(index, process)
+
+    def _respawn_worker(self, index: int, crashed) -> None:
+        """Replace the crashed worker on slot ``index`` if budget remains."""
+        with self._lock:
+            if self._closed or self._respawns_used >= self.max_respawns:
+                return
+            self._respawns_used += 1
+        crashed.join(timeout=1.0)  # reap the corpse; it already exited
+        try:
+            self._task_queues[index].close()  # release the dead slot's pipe
+        except (OSError, ValueError):
+            pass
+        task_queue, process = self._spawn_worker(index)
+        with self._lock:
+            if self._closed:
+                # close() raced the respawn: tear the replacement down too.
+                try:
+                    task_queue.put(None)
+                except (ValueError, OSError):
+                    pass
+                process.join(timeout=1.0)
+                if process.is_alive():
+                    process.terminate()
+                return
+            self._task_queues[index] = task_queue
+            self._processes[index] = process
+            self._ready[index] = threading.Event()
+            self._dead[index] = False
+        self._core.count_respawn()
 
     # ------------------------------------------------------------------ #
     # Introspection and lifecycle

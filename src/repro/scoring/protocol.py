@@ -61,6 +61,8 @@ class ScoringBridgeStats:
             (process backend only).
         worker_crashes: Scorer processes that died mid-service (process
             backend only).
+        workers_respawned: Crashed scorer processes replaced with fresh ones
+            (process backend with ``max_respawns > 0`` only).
     """
 
     requests: int = 0
@@ -70,6 +72,7 @@ class ScoringBridgeStats:
     max_batch_examples: int = 0
     versions_published: int = 0
     worker_crashes: int = 0
+    workers_respawned: int = 0
 
     @property
     def mean_batch_examples(self) -> float:

@@ -1,0 +1,60 @@
+"""The serving gateway: HTTP front door, wire codecs, live shadow scoring.
+
+Stdlib-only (``http.server`` + ``json``) — the gateway adds no dependencies
+on top of the in-process stack it fronts:
+
+- :mod:`repro.server.wire` — explicit JSON codecs for the planning envelopes
+  (:class:`~repro.planning.envelope.PlanRequest`,
+  :class:`~repro.planning.envelope.PlanResult`), service responses, metrics
+  reports and promotion decisions, with typed
+  :class:`~repro.server.wire.WireFormatError` rejection of malformed input;
+- :class:`~repro.server.app.PlanningServer` — ``POST /v1/plan`` /
+  ``/v1/plan_many`` through any registered planner, ops endpoints
+  (``/v1/metrics``, ``/v1/models``, promote/rollback, ``/healthz``), and
+  boot-time restore of the persisted serving chain;
+- :class:`~repro.server.shadow_traffic.TrafficShadower` — samples live
+  ``/v1/plan`` traffic into a bounded ring buffer, shadow-scores the freshly
+  promoted version against its predecessor off the request path, and rolls
+  the promotion back automatically when the regression bound breaks on real
+  requests.
+"""
+
+from repro.server.app import DEFAULT_PLANNER, PlanningServer
+from repro.server.shadow_traffic import ShadowTrafficStats, TrafficShadower
+from repro.server.wire import (
+    WireFormatError,
+    plan_from_json_dict,
+    plan_request_from_json_dict,
+    plan_request_to_json_dict,
+    plan_result_from_json_dict,
+    plan_result_to_json_dict,
+    plan_to_json_dict,
+    promotion_decision_from_json_dict,
+    promotion_decision_to_json_dict,
+    query_from_json_dict,
+    query_to_json_dict,
+    service_metrics_from_json_dict,
+    service_metrics_to_json_dict,
+    service_response_to_json_dict,
+)
+
+__all__ = [
+    "DEFAULT_PLANNER",
+    "PlanningServer",
+    "ShadowTrafficStats",
+    "TrafficShadower",
+    "WireFormatError",
+    "plan_from_json_dict",
+    "plan_request_from_json_dict",
+    "plan_request_to_json_dict",
+    "plan_result_from_json_dict",
+    "plan_result_to_json_dict",
+    "plan_to_json_dict",
+    "promotion_decision_from_json_dict",
+    "promotion_decision_to_json_dict",
+    "query_from_json_dict",
+    "query_to_json_dict",
+    "service_metrics_from_json_dict",
+    "service_metrics_to_json_dict",
+    "service_response_to_json_dict",
+]

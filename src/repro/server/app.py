@@ -1,0 +1,513 @@
+"""The serving gateway: an HTTP front door over the in-process stack.
+
+:class:`PlanningServer` turns a :class:`~repro.service.service.PlannerService`
+(plus, optionally, a :class:`~repro.lifecycle.registry.ModelRegistry`, a
+:class:`~repro.lifecycle.manager.ModelLifecycle` and a
+:class:`~repro.server.shadow_traffic.TrafficShadower`) into a network
+service — stdlib only (``http.server`` + ``json``), no new dependencies.
+
+Endpoints:
+
+- ``POST /v1/plan`` — one planning request (wire-encoded
+  :class:`~repro.planning.envelope.PlanRequest`; ``query`` structural or a
+  workload name; optional ``planner`` routes to any registered planner, each
+  served through its own cache-aware :class:`PlannerService`).
+- ``POST /v1/plan_many`` — a batch, planned concurrently, order preserved.
+- ``GET /v1/metrics`` — per-planner :class:`ServiceMetrics`, gateway HTTP
+  counters, and live shadow-scoring stats.
+- ``GET /v1/models`` — the registry chain: retained versions, serving
+  history, snapshot provenance, and the full promotion-decision audit trail.
+- ``POST /v1/models/promote`` / ``POST /v1/models/rollback`` — move the
+  serving pointer (hot swap + registry bookkeeping); promotions arm the
+  traffic shadower so live traffic guards the new version.
+- ``GET /healthz`` — liveness plus the serving version.
+
+Boot-time restore: given a registry (typically
+``ModelRegistry.load_persisted(persist_dir)``), the gateway swaps the
+persisted serving snapshot into the service before taking traffic, so a
+restart resumes the last promoted model instead of whatever network the
+process happened to construct.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.lifecycle.snapshot import LifecycleError
+from repro.model.value_network import StateDictMismatchError
+from repro.planning.envelope import AdmissionError, PlanRequest, UnknownPlannerError
+from repro.server.handlers import GatewayHTTPServer, GatewayRequestHandler
+from repro.server.wire import WireFormatError, plan_request_from_json_dict
+from repro.service.service import PlannerService, ServiceResponse
+from repro.sql.query import Query
+
+if TYPE_CHECKING:
+    from repro.lifecycle.manager import ModelLifecycle
+    from repro.lifecycle.registry import ModelRegistry
+    from repro.planning.registry import PlannerRegistry
+    from repro.server.shadow_traffic import TrafficShadower
+
+#: The ``planner`` field value addressing the gateway's primary service.
+DEFAULT_PLANNER = "default"
+
+#: Every routable path; unknown paths share one metrics bucket so a scanner
+#: probing random URLs cannot grow the gateway counters without bound.
+KNOWN_PATHS = frozenset(
+    {
+        "/healthz",
+        "/v1/plan",
+        "/v1/plan_many",
+        "/v1/metrics",
+        "/v1/models",
+        "/v1/models/promote",
+        "/v1/models/rollback",
+    }
+)
+
+
+class PlanningServer:
+    """HTTP front door for the serving stack.
+
+    Args:
+        service: The primary (usually beam-backend) planner service; the
+            gateway never closes it.
+        registry: Optional model registry backing the ops endpoints
+            (``/v1/models``, promote/rollback) and boot-time restore.
+        lifecycle: Optional lifecycle manager; when present, rollbacks route
+            through it (cache warming included).
+        shadower: Optional live-traffic shadower; ``/v1/plan`` traffic feeds
+            it and promotions arm it.
+        planner_registry: Optional planner registry; requests naming a
+            ``planner`` are served through a per-planner
+            :class:`PlannerService` built lazily over these entries (owned —
+            and closed — by the gateway).
+        queries: Optional named workload; requests may then reference queries
+            by name instead of shipping their structure.
+        featurizer: Featuriser for restoring snapshots on promote/rollback
+            (defaults to the serving network's).
+        host: Bind address (loopback by default).
+        port: Bind port (0 → ephemeral; read :attr:`port` after
+            :meth:`start`).
+        restore_serving: Swap the registry's persisted serving snapshot into
+            the service at construction (no-op without a registry or a
+            promoted version).
+        verbose: Log one line per HTTP request to stderr.
+    """
+
+    def __init__(
+        self,
+        service: PlannerService,
+        *,
+        registry: "ModelRegistry | None" = None,
+        lifecycle: "ModelLifecycle | None" = None,
+        shadower: "TrafficShadower | None" = None,
+        planner_registry: "PlannerRegistry | None" = None,
+        queries: Iterable[Query] | None = None,
+        featurizer=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        restore_serving: bool = True,
+        verbose: bool = False,
+    ):
+        self.service = service
+        self.registry = registry
+        self.lifecycle = lifecycle
+        self.shadower = shadower
+        self.planner_registry = planner_registry
+        self.verbose = verbose
+        self._featurizer = featurizer
+        self._host = host
+        self._requested_port = port
+        self._queries: dict[str, Query] = {
+            query.name: query for query in (queries or [])
+        }
+        self._extra_services: dict[str, PlannerService] = {}
+        self._extra_lock = threading.Lock()
+        self._http_lock = threading.Lock()
+        self._http_requests: dict[str, int] = {}
+        self._http_status: dict[int, int] = {}
+        self._httpd: GatewayHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._closed = False
+        self.restored_serving_version: int | None = None
+        if restore_serving:
+            self._restore_serving()
+        # A lifecycle without a live monitor gets this gateway's shadower, so
+        # gate-approved promotions arm the live-traffic guard too — and the
+        # shadower's automatic rollbacks route through the lifecycle (cache
+        # rewarming included) rather than raw registry/service calls.
+        if lifecycle is not None and shadower is not None:
+            if getattr(lifecycle, "live_monitor", None) is None:
+                lifecycle.attach_live_monitor(shadower)
+            if shadower.lifecycle is None:
+                shadower.lifecycle = lifecycle
+
+    # ------------------------------------------------------------------ #
+    # Boot-time restore
+    # ------------------------------------------------------------------ #
+    def _restore_serving(self) -> None:
+        """Resume the registry's persisted serving model, if there is one."""
+        if self.registry is None or self.registry.serving_version is None:
+            return
+        if self.service.serving_network() is None:
+            return  # protocol-mode service: nothing to swap
+        snapshot = self.registry.serving()
+        network = snapshot.restore(self._resolve_featurizer())
+        self.service.swap_network(network)
+        self.restored_serving_version = snapshot.version
+
+    def _resolve_featurizer(self):
+        if self._featurizer is not None:
+            return self._featurizer
+        network = self.service.serving_network()
+        if network is None:
+            raise LifecycleError(
+                "gateway has no featurizer: pass one explicitly, or front a "
+                "service with a serving network"
+            )
+        return network.featurizer
+
+    # ------------------------------------------------------------------ #
+    # Server lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "PlanningServer":
+        """Bind the listening socket and serve on a background thread."""
+        if self._closed:
+            raise RuntimeError("planning server is closed")
+        if self._httpd is not None:
+            return self
+        bound_handler = type(
+            "BoundGatewayHandler", (GatewayRequestHandler,), {"gateway": self}
+        )
+        self._httpd = GatewayHTTPServer(
+            (self._host, self._requested_port), bound_handler
+        )
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="gateway-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("planning server is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` of the running server."""
+        return f"http://{self._host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop the listener and the gateway-owned per-planner services.
+
+        The primary service, registry, lifecycle and shadower belong to the
+        caller and are left running.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=2.0)
+        with self._extra_lock:
+            extra = list(self._extra_services.values())
+            self._extra_services.clear()
+        for extra_service in extra:
+            extra_service.close()
+
+    def __enter__(self) -> "PlanningServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Routing support
+    # ------------------------------------------------------------------ #
+    def count_http(self, path: str, status: int) -> None:
+        """Fold one handled HTTP exchange into the gateway counters."""
+        if path not in KNOWN_PATHS:
+            path = "<unknown>"
+        with self._http_lock:
+            self._http_requests[path] = self._http_requests.get(path, 0) + 1
+            self._http_status[status] = self._http_status.get(status, 0) + 1
+
+    def _resolve_query(self, name: str) -> Query:
+        return self._queries[name]  # KeyError → WireFormatError upstream
+
+    def _service_for(self, planner: object) -> PlannerService:
+        """The service answering for ``planner`` (the primary one by default).
+
+        Named planners are served through gateway-owned services built
+        lazily over the planner registry — same cache/dedup/metrics path as
+        the primary, so ``/v1/metrics`` reports them uniformly.
+        """
+        if planner is None or planner == DEFAULT_PLANNER:
+            return self.service
+        if not isinstance(planner, str):
+            raise WireFormatError(f"planner: expected a string, got {planner!r}")
+        if self.planner_registry is None:
+            raise UnknownPlannerError(
+                f"gateway has no planner registry; cannot route to {planner!r}"
+            )
+        with self._extra_lock:
+            if self._closed:
+                raise RuntimeError("planning server is closed")
+            cached = self._extra_services.get(planner)
+            if cached is not None:
+                return cached
+            backend = self.planner_registry.get(planner)  # UnknownPlannerError
+            service = PlannerService(
+                planner=backend,
+                max_workers=2,
+                cache_capacity=1024,
+                max_pending=self.service.max_pending,
+            )
+            self._extra_services[planner] = service
+            return service
+
+    @staticmethod
+    def _admission_status(error: AdmissionError) -> int:
+        if error.reason == "over_capacity":
+            return 429
+        if error.reason == "deadline_expired":
+            return 504
+        return 503
+
+    def _observe(self, request: PlanRequest) -> None:
+        """Feed one foreground request to the shadower (never raises)."""
+        if self.shadower is None:
+            return
+        try:
+            self.shadower.observe(request.query)
+        except Exception:  # noqa: BLE001 - shadow path must not fail traffic
+            pass
+
+    @staticmethod
+    def _response_status(response: ServiceResponse) -> int:
+        """504 for a budget-drained empty answer, 200 otherwise."""
+        return 504 if (response.deadline_exceeded and not response.plans) else 200
+
+    # ------------------------------------------------------------------ #
+    # Routes: planning
+    # ------------------------------------------------------------------ #
+    def handle_plan(self, payload: object) -> tuple[int, dict]:
+        """``POST /v1/plan``."""
+        try:
+            if not isinstance(payload, Mapping):
+                raise WireFormatError("expected a JSON object")
+            service = self._service_for(payload.get("planner"))
+            request = plan_request_from_json_dict(
+                payload, query_resolver=self._resolve_query
+            )
+        except WireFormatError as error:
+            return 400, {"error": str(error), "kind": "bad_request"}
+        except UnknownPlannerError as error:
+            return 404, {"error": str(error), "kind": "unknown_planner"}
+        try:
+            response = service.plan(request)
+        except AdmissionError as error:
+            return self._admission_status(error), {
+                "error": str(error),
+                "kind": "admission",
+                "reason": error.reason,
+            }
+        except RuntimeError as error:
+            return 503, {"error": str(error), "kind": "unavailable"}
+        if service is self.service:
+            self._observe(request)
+        return self._response_status(response), response.to_json_dict()
+
+    def handle_plan_many(self, payload: object) -> tuple[int, dict]:
+        """``POST /v1/plan_many``."""
+        try:
+            if not isinstance(payload, Mapping):
+                raise WireFormatError("expected a JSON object")
+            entries = payload.get("requests")
+            if not isinstance(entries, list):
+                raise WireFormatError("requests: expected a JSON array")
+            service = self._service_for(payload.get("planner"))
+            requests = [
+                plan_request_from_json_dict(entry, query_resolver=self._resolve_query)
+                for entry in entries
+            ]
+        except WireFormatError as error:
+            return 400, {"error": str(error), "kind": "bad_request"}
+        except UnknownPlannerError as error:
+            return 404, {"error": str(error), "kind": "unknown_planner"}
+        try:
+            responses = service.plan_many(requests)
+        except AdmissionError as error:
+            return self._admission_status(error), {
+                "error": str(error),
+                "kind": "admission",
+                "reason": error.reason,
+            }
+        except RuntimeError as error:
+            return 503, {"error": str(error), "kind": "unavailable"}
+        if service is self.service:
+            for request in requests:
+                self._observe(request)
+        return 200, {"results": [response.to_json_dict() for response in responses]}
+
+    # ------------------------------------------------------------------ #
+    # Routes: ops
+    # ------------------------------------------------------------------ #
+    def handle_metrics(self) -> tuple[int, dict]:
+        """``GET /v1/metrics``."""
+        with self._extra_lock:
+            extra = dict(self._extra_services)
+        planners = {DEFAULT_PLANNER: self.service.metrics().to_json_dict()}
+        for name, service in extra.items():
+            planners[name] = service.metrics().to_json_dict()
+        with self._http_lock:
+            gateway = {
+                "requests_by_endpoint": dict(self._http_requests),
+                "responses_by_status": {
+                    str(status): count for status, count in self._http_status.items()
+                },
+            }
+        shadow = self.shadower.stats().to_json_dict() if self.shadower else None
+        return 200, {"planners": planners, "gateway": gateway, "shadow": shadow}
+
+    def handle_models(self) -> tuple[int, dict]:
+        """``GET /v1/models``."""
+        if self.registry is None:
+            return 503, {"error": "gateway has no model registry", "kind": "unavailable"}
+        registry = self.registry
+        # One consistent listing: per-version get() calls would race
+        # concurrent retention eviction into a 500.
+        snapshots = [
+            {
+                "version": snapshot.version,
+                "source": snapshot.source,
+                "parent_version": snapshot.parent_version,
+                "tag": snapshot.tag,
+                "created_at": snapshot.created_at,
+            }
+            for snapshot in registry.snapshots()
+        ]
+        shadow = self.shadower.stats().to_json_dict() if self.shadower else None
+        return 200, {
+            "serving_version": registry.serving_version,
+            "versions": registry.versions(),
+            "serving_history": registry.serving_history(),
+            "snapshots": snapshots,
+            "decisions": [decision.to_json_dict() for decision in registry.decisions()],
+            "shadow": shadow,
+        }
+
+    def handle_promote(self, payload: object) -> tuple[int, dict]:
+        """``POST /v1/models/promote`` — hot-swap a registered version in.
+
+        This is the ops override: it bypasses the probe-workload gate (the
+        lifecycle's ``evaluate_and_apply`` owns that path) but never the
+        live-traffic guard — the shadower is armed with the displaced
+        version, so a bad promotion is rolled back by real requests.
+        """
+        if self.registry is None:
+            return 503, {"error": "gateway has no model registry", "kind": "unavailable"}
+        if not isinstance(payload, Mapping):
+            return 400, {"error": "expected {'version': <int>}", "kind": "bad_request"}
+        version = payload.get("version")
+        if not isinstance(version, int) or isinstance(version, bool):
+            return 400, {"error": "version: expected an integer", "kind": "bad_request"}
+        try:
+            snapshot = self.registry.get(version)
+        except LifecycleError as error:
+            return 404, {"error": str(error), "kind": "unknown_version"}
+        previous = self.registry.serving_version
+        if previous == version:
+            return 200, {"serving_version": version, "previous_serving_version": previous}
+        try:
+            network = snapshot.restore(self._resolve_featurizer())
+            self.service.swap_network(network)
+        except (StateDictMismatchError, LifecycleError) as error:
+            return 409, {"error": str(error), "kind": "conflict"}
+        except RuntimeError as error:
+            return 503, {"error": str(error), "kind": "unavailable"}
+        try:
+            self.registry.promote(version)
+        except LifecycleError as error:
+            # Retention evicted the version between get() and promote(): the
+            # swap already happened, so restore the registry's view of
+            # serving before failing — the pointer and the live network must
+            # never diverge.
+            try:
+                self.service.swap_network(
+                    self.registry.serving().restore(self._resolve_featurizer())
+                )
+            except Exception:  # noqa: BLE001 - best effort; report the cause
+                pass
+            return 409, {"error": str(error), "kind": "conflict"}
+        if self.shadower is not None:
+            try:
+                self.shadower.watch(version, previous)
+            except Exception as error:  # noqa: BLE001 - promotion already landed
+                return 200, {
+                    "serving_version": version,
+                    "previous_serving_version": previous,
+                    "shadow_armed": False,
+                    "shadow_error": str(error),
+                }
+        return 200, {
+            "serving_version": version,
+            "previous_serving_version": previous,
+            "shadow_armed": self.shadower.armed if self.shadower else False,
+        }
+
+    def handle_rollback(self) -> tuple[int, dict]:
+        """``POST /v1/models/rollback`` — revert to the previous version."""
+        if self.registry is None:
+            return 503, {"error": "gateway has no model registry", "kind": "unavailable"}
+        rolled_from = self.registry.serving_version
+        try:
+            if self.lifecycle is not None:
+                snapshot = self.lifecycle.rollback()
+            else:
+                snapshot = self.registry.rollback()
+                try:
+                    network = snapshot.restore(self._resolve_featurizer())
+                    self.service.swap_network(network)
+                except Exception:
+                    # The swap failed: the registry pointer must not drift
+                    # away from what is actually serving.
+                    self.registry.promote(rolled_from)
+                    raise
+        except (StateDictMismatchError, LifecycleError) as error:
+            return 409, {"error": str(error), "kind": "conflict"}
+        except RuntimeError as error:
+            return 503, {"error": str(error), "kind": "unavailable"}
+        if self.shadower is not None:
+            # Idempotent: the lifecycle path may already have disarmed its
+            # attached monitor, but this gateway's shadower must never stay
+            # armed watching a pair an explicit rollback just retired.
+            self.shadower.disarm()
+        return 200, {
+            "serving_version": snapshot.version,
+            "rolled_back_from": rolled_from,
+        }
+
+    def handle_health(self) -> tuple[int, dict]:
+        """``GET /healthz``."""
+        planners = [DEFAULT_PLANNER]
+        if self.planner_registry is not None:
+            planners += sorted(self.planner_registry.available())
+        return 200, {
+            "status": "ok",
+            "pending_requests": self.service.pending_requests,
+            "serving_version": (
+                self.registry.serving_version if self.registry is not None else None
+            ),
+            "shadow_armed": self.shadower.armed if self.shadower else False,
+            "planners": planners,
+        }

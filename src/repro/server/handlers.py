@@ -1,0 +1,191 @@
+"""HTTP plumbing for the serving gateway: routing, JSON I/O, error mapping.
+
+The handler is deliberately thin: it parses the request line and body, hands
+the decoded payload to the :class:`~repro.server.app.PlanningServer` route
+methods (which return ``(status, body)`` pairs), and serialises the reply.
+All policy — admission mapping, planner routing, shadow sampling — lives in
+the gateway, where it is unit-testable without a socket.
+
+Error contract (JSON bodies everywhere, ``{"error": ..., "kind": ...}``):
+
+- malformed JSON or a payload failing the wire codecs → **400**;
+- unknown route or unknown planner/model version → **404**;
+- admission rejection, over capacity → **429**;
+- stale state (nothing to roll back to, featuriser mismatch) → **409**;
+- gateway not configured for the operation / service closed → **503**;
+- deadline expired at admission, or budget drained to an empty result →
+  **504**.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Callable
+
+from repro.server.wire import WireFormatError
+
+if TYPE_CHECKING:
+    from repro.server.app import PlanningServer
+
+#: Largest accepted request body (a structural 20-way join query is ~10 KB;
+#: this bound exists so a misbehaving client cannot buffer us to death).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: ``(status, body)`` as produced by the gateway's route methods.
+RouteResult = "tuple[int, dict]"
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    """One thread per request; the planner service below does its own pooling."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class GatewayRequestHandler(BaseHTTPRequestHandler):
+    """Routes gateway HTTP traffic; bound to one gateway via subclassing."""
+
+    #: Set by :meth:`PlanningServer.start` on the per-server subclass.
+    gateway: "PlanningServer"
+
+    server_version = "repro-gateway/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        routes: dict[str, Callable[[], RouteResult]] = {
+            "/healthz": self.gateway.handle_health,
+            "/v1/metrics": self.gateway.handle_metrics,
+            "/v1/models": self.gateway.handle_models,
+        }
+        self._dispatch(routes)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        body_routes: dict[str, Callable[[object], RouteResult]] = {
+            "/v1/plan": self.gateway.handle_plan,
+            "/v1/plan_many": self.gateway.handle_plan_many,
+            "/v1/models/promote": self.gateway.handle_promote,
+        }
+        bare_routes: dict[str, Callable[[], RouteResult]] = {
+            "/v1/models/rollback": self.gateway.handle_rollback,
+        }
+        path = self.path.split("?", 1)[0]
+        if path in bare_routes:
+            try:
+                self._read_body()  # drain so keep-alive framing stays intact
+            except WireFormatError as error:
+                # The body was not consumed: the connection must close or the
+                # unread bytes would be parsed as the next request line.
+                self._reply(
+                    path, 400, {"error": str(error), "kind": "bad_request"},
+                    close=True,
+                )
+                return
+            self._run_route(path, bare_routes[path])
+            return
+        handler = body_routes.get(path)
+        if handler is None:
+            try:
+                self._read_body()  # drain: keep-alive framing stays intact
+                drained = True
+            except WireFormatError:
+                drained = False
+            self._reply(
+                path, 404,
+                {"error": f"no such endpoint: POST {path}", "kind": "not_found"},
+                close=not drained,
+            )
+            return
+        try:
+            payload = self._read_json_body()
+        except WireFormatError as error:
+            # Oversized/undeclared bodies were not consumed; malformed JSON
+            # was.  Closing unconditionally is the safe end of both cases.
+            self._reply(
+                path, 400, {"error": str(error), "kind": "bad_request"}, close=True
+            )
+            return
+        self._run_route(path, handler, payload)
+
+    def _dispatch(self, routes: "dict[str, Callable[[], RouteResult]]") -> None:
+        path = self.path.split("?", 1)[0]
+        handler = routes.get(path)
+        if handler is None:
+            self._reply(
+                path, 404, {"error": f"no such endpoint: GET {path}", "kind": "not_found"}
+            )
+            return
+        self._run_route(path, handler)
+
+    def _run_route(self, path: str, handler, *args) -> None:
+        try:
+            status, body = handler(*args)
+        except Exception as error:  # noqa: BLE001 - the transport must answer
+            status, body = 500, {
+                "error": f"{type(error).__name__}: {error}",
+                "kind": "internal",
+            }
+        self._reply(path, status, body)
+
+    def _reply(self, path: str, status: int, body: dict, close: bool = False) -> None:
+        """Count the exchange in the gateway metrics, then send it."""
+        self.gateway.count_http(path, status)
+        self._send(status, body, close=close)
+
+    # ------------------------------------------------------------------ #
+    # JSON I/O
+    # ------------------------------------------------------------------ #
+    def _read_body(self) -> bytes:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length) if length is not None else 0
+        except ValueError:
+            raise WireFormatError("Content-Length is not an integer") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise WireFormatError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _read_json_body(self) -> object:
+        raw = self._read_body()
+        if not raw:
+            raise WireFormatError("request body is empty (expected a JSON object)")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise WireFormatError(f"request body is not valid JSON: {error}") from None
+
+    def _send(self, status: int, body: dict, close: bool = False) -> None:
+        try:
+            encoded = json.dumps(body, allow_nan=False).encode("utf-8")
+        except ValueError:
+            # A codec bug let a bare NaN through; fail loudly but in-protocol.
+            status = 500
+            encoded = json.dumps(
+                {"error": "response was not JSON-serialisable", "kind": "internal"}
+            ).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(encoded)))
+            if close:
+                # An unconsumed request body would be parsed as the next
+                # request line on this connection; tell the client and stop
+                # the keep-alive loop.
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Logging
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.gateway, "verbose", False):
+            super().log_message(format, *args)

@@ -1,0 +1,479 @@
+"""Live-traffic shadow scoring: watch real requests, roll back on regression.
+
+The PR-3 :class:`~repro.lifecycle.shadow.ShadowEvaluator` gates promotions on
+a *static probe workload*.  That catches candidates that regress on known
+queries, but a promotion can still hurt exactly the traffic the probe set
+does not cover — Bao's central argument (Marcus et al., VLDB 2021) is that a
+learned optimizer must bound regressions on what users actually run.
+
+:class:`TrafficShadower` closes that gap for the serving gateway:
+
+1. A configurable fraction of real ``/v1/plan`` traffic is **sampled** into a
+   bounded ring buffer (deterministic 1-in-N striding, so tests and replayed
+   traffic behave identically).  Sampling is a lock + deque append — the
+   foreground request path never waits on shadow work.
+2. After a promotion the shadower is **armed** with the candidate (now
+   serving) and baseline (previously serving) versions.  A worker thread
+   drains the ring buffer *off the request path*, replans each sampled query
+   with both versions restored from the registry, and costs both chosen
+   plans under the shared yardstick.
+3. Per-query comparisons feed a **rolling window** that enforces the same
+   two bounds the promotion gate already applied to the probe workload — a
+   per-query bound (no sampled request's plan may cost more than
+   ``max_regression`` times the baseline's) and a cost-weighted workload
+   bound (the window's total candidate cost may not exceed
+   ``max_total_regression`` times the baseline total).  Once the window
+   holds ``min_samples`` and either bound breaks, the shadower triggers an
+   **automatic rollback** (through the attached
+   :class:`~repro.lifecycle.manager.ModelLifecycle` when available, else
+   directly against the registry + service) and records a
+   :class:`~repro.lifecycle.shadow.PromotionDecision` audit entry whose
+   probes are the live queries that tripped the bound.
+
+Foreground traffic keeps being answered throughout: the rollback is one
+atomic ``swap_network`` on the serving service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.lifecycle.shadow import ProbeResult, PromotionDecision
+from repro.planning.adapters import BeamPlanner
+from repro.planning.envelope import PlanRequest
+from repro.plans.nodes import PlanNode
+from repro.search.beam import BeamSearchPlanner
+from repro.sql.query import Query
+
+if TYPE_CHECKING:
+    from repro.lifecycle.manager import ModelLifecycle
+    from repro.lifecycle.registry import ModelRegistry
+    from repro.service.service import PlannerService
+
+#: The shared plan yardstick: ``(query, plan) -> cost``.
+PlanCost = Callable[[Query, PlanNode], float]
+
+
+@dataclass
+class ShadowTrafficStats:
+    """Counters describing the live shadow-scoring loop.
+
+    Attributes:
+        observed: Foreground requests the shadower saw.
+        sampled: Requests sampled into the ring buffer (1-in-N striding).
+        dropped: Sampled requests evicted because the ring buffer was full.
+        replayed: Sampled queries actually replanned against both versions.
+        rollbacks: Automatic rollbacks triggered by live-traffic regression.
+        errors: Shadow replans or rollbacks that failed (never surfaced to
+            the foreground path).
+        armed: Whether a candidate is currently being monitored.
+        candidate_version: Version under monitoring (None when disarmed).
+        baseline_version: Version it is compared against (None when disarmed).
+        rolling_regression: Cost-weighted regression over the current window
+            (total candidate cost / total baseline cost; 0 when empty).
+        worst_regression: Largest single-query regression in the window.
+        window_samples: Live samples currently in the rolling window.
+    """
+
+    observed: int = 0
+    sampled: int = 0
+    dropped: int = 0
+    replayed: int = 0
+    rollbacks: int = 0
+    errors: int = 0
+    armed: bool = False
+    candidate_version: int | None = None
+    baseline_version: int | None = None
+    rolling_regression: float = 0.0
+    worst_regression: float = 0.0
+    window_samples: int = 0
+
+    def to_json_dict(self) -> dict:
+        """JSON-safe dict form (all fields are already JSON-native)."""
+        return asdict(self)
+
+
+class TrafficShadower:
+    """Samples live traffic, shadow-scores the candidate, rolls back on breach.
+
+    Args:
+        service: The serving front door rollbacks swap against.
+        registry: Source of the candidate/baseline snapshots and home of the
+            audit trail.
+        plan_cost: Shared yardstick ``(query, plan) -> cost`` (e.g.
+            ``CoutCostModel(estimator).cost``); both versions' chosen plans
+            are costed with it, so the comparison never trusts either model.
+        sample_fraction: Fraction of observed traffic to shadow (deterministic
+            1-in-``round(1/fraction)`` striding; 1.0 shadows everything).
+        buffer_capacity: Ring-buffer bound; when full, the oldest sampled
+            query is dropped (and counted) rather than blocking anything.
+        max_regression: Per-query bound: no sampled request's candidate plan
+            may cost more than this multiple of the baseline plan (the same
+            semantics as the promotion gate's per-probe bound).
+        max_total_regression: Cost-weighted workload bound over the rolling
+            window: total candidate cost / total baseline cost.
+        min_samples: Live samples required before a verdict (a single noisy
+            query must not unseat a promotion).
+        window: Rolling-window size in samples.
+        planner: Beam-search configuration for the shadow replans (defaults
+            to paper settings; keep it small — this runs continuously).
+        featurizer: Featuriser used to restore snapshot networks (defaults to
+            the service's serving network's featuriser at arm time).
+        lifecycle: Optional :class:`ModelLifecycle`; when attached, rollbacks
+            route through it (so cache warming and its bookkeeping apply).
+    """
+
+    def __init__(
+        self,
+        service: "PlannerService",
+        registry: "ModelRegistry",
+        plan_cost: PlanCost,
+        *,
+        sample_fraction: float = 0.25,
+        buffer_capacity: int = 64,
+        max_regression: float = 2.0,
+        max_total_regression: float = 1.25,
+        min_samples: int = 4,
+        window: int = 32,
+        planner: BeamSearchPlanner | None = None,
+        featurizer=None,
+        lifecycle: "ModelLifecycle | None" = None,
+    ):
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        if buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+        if max_regression <= 0 or max_total_regression <= 0:
+            raise ValueError("regression bounds must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if window < min_samples:
+            raise ValueError("window must be >= min_samples")
+        self.service = service
+        self.registry = registry
+        self.plan_cost = plan_cost
+        self.sample_fraction = sample_fraction
+        self.max_regression = max_regression
+        self.max_total_regression = max_total_regression
+        self.min_samples = min_samples
+        self.window = window
+        self.planner = planner or BeamSearchPlanner()
+        self._featurizer = featurizer
+        self.lifecycle = lifecycle
+
+        self._stride = max(1, round(1.0 / sample_fraction))
+        self._buffer: deque[Query] = deque(maxlen=buffer_capacity)
+        self._window: deque[ProbeResult] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._closed = False
+
+        self._observed = 0
+        self._sampled = 0
+        self._dropped = 0
+        self._replayed = 0
+        self._rollbacks = 0
+        self._errors = 0
+        self._inflight = 0  # samples popped but not yet appended/skipped
+
+        self._armed = False
+        # Bumped on every watch()/disarm(): probes replanned for a retired
+        # (candidate, baseline) pair must never land in a newer pair's
+        # window, and a rollback verdict must die with its generation.
+        self._generation = 0
+        self._candidate_version: int | None = None
+        self._baseline_version: int | None = None
+        self._candidate_planner: BeamPlanner | None = None
+        self._baseline_planner: BeamPlanner | None = None
+
+        self._worker = threading.Thread(
+            target=self._run, name="traffic-shadower", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Foreground hook
+    # ------------------------------------------------------------------ #
+    def observe(self, query: Query) -> None:
+        """Note one foreground request (cheap; never blocks, never raises).
+
+        Sampling happens whether or not a candidate is armed, so the ring
+        buffer already holds recent traffic the moment a promotion lands.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._observed += 1
+            if (self._observed - 1) % self._stride != 0:
+                return
+            self._sampled += 1
+            if len(self._buffer) == self._buffer.maxlen:
+                self._dropped += 1
+            self._buffer.append(query)
+            armed = self._armed
+        if armed:
+            self._wake.set()
+
+    # ------------------------------------------------------------------ #
+    # Arming
+    # ------------------------------------------------------------------ #
+    def watch(
+        self, candidate_version: int, baseline_version: int | None
+    ) -> None:
+        """Arm monitoring of ``candidate_version`` against ``baseline_version``.
+
+        Call right after a promotion: the candidate is the newly serving
+        version, the baseline is the version it displaced (the rollback
+        target).  A ``None`` baseline (first-ever promotion) disarms — there
+        is nothing to compare against or roll back to.
+        """
+        if baseline_version is None or baseline_version == candidate_version:
+            self.disarm()
+            return
+        featurizer = self._resolve_featurizer()
+        candidate = self.registry.restore(candidate_version, featurizer)
+        baseline = self.registry.restore(baseline_version, featurizer)
+        with self._lock:
+            self._generation += 1
+            self._candidate_version = candidate_version
+            self._baseline_version = baseline_version
+            self._candidate_planner = BeamPlanner(candidate, planner=self.planner)
+            self._baseline_planner = BeamPlanner(baseline, planner=self.planner)
+            self._window.clear()
+            self._armed = True
+        self._wake.set()
+
+    def disarm(self) -> None:
+        """Stop monitoring (keeps sampling so the buffer stays warm)."""
+        with self._lock:
+            self._generation += 1
+            self._armed = False
+            self._candidate_version = None
+            self._baseline_version = None
+            self._candidate_planner = None
+            self._baseline_planner = None
+            self._window.clear()
+
+    @property
+    def armed(self) -> bool:
+        """Whether a candidate is currently being monitored."""
+        with self._lock:
+            return self._armed
+
+    # ------------------------------------------------------------------ #
+    # Shadow loop
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            self._wake.wait(timeout=0.1)
+            self._wake.clear()
+            if self._closed:
+                return
+            while True:
+                with self._lock:
+                    if self._closed or not self._armed or not self._buffer:
+                        break
+                    query = self._buffer.popleft()
+                    candidate_planner = self._candidate_planner
+                    baseline_planner = self._baseline_planner
+                    generation = self._generation
+                    self._inflight += 1
+                try:
+                    probe = self._shadow_one(query, candidate_planner, baseline_planner)
+                except Exception:  # noqa: BLE001 - shadow path must not die
+                    with self._lock:
+                        self._errors += 1
+                        self._inflight -= 1
+                    continue
+                breach: str | None = None
+                with self._lock:
+                    self._inflight -= 1
+                    if not self._armed or self._generation != generation:
+                        # The pair this probe was replanned for is retired
+                        # (re-arm or disarm raced the replan): its costs must
+                        # not count toward the current pair's verdict.
+                        continue
+                    self._replayed += 1
+                    self._window.append(probe)
+                    if len(self._window) >= self.min_samples:
+                        breach = self._verdict_locked()
+                if breach is not None:
+                    self._trigger_rollback(breach, generation)
+
+    def _shadow_one(
+        self, query: Query, candidate: BeamPlanner, baseline: BeamPlanner
+    ) -> ProbeResult:
+        """Replan ``query`` with both versions; cost both under the yardstick."""
+        request = PlanRequest(query=query, k=1)
+        candidate_cost = float(
+            self.plan_cost(query, candidate.plan(request).best_plan)
+        )
+        baseline_cost = float(self.plan_cost(query, baseline.plan(request).best_plan))
+        return ProbeResult(
+            query_name=query.name,
+            serving_cost=baseline_cost,
+            candidate_cost=candidate_cost,
+            regression=candidate_cost / max(baseline_cost, 1e-12),
+        )
+
+    def _verdict_locked(self) -> str | None:
+        """The breach description, or None while both bounds hold.
+
+        The same two bounds the promotion gate enforced on the probe
+        workload, applied to what users actually ran: per-query worst case,
+        and cost-weighted window total.
+        """
+        worst = max(self._window, key=lambda p: p.regression)
+        if worst.regression > self.max_regression:
+            return (
+                f"sampled request {worst.query_name!r} regressed "
+                f"{worst.regression:.3f}x > {self.max_regression:.3f}x"
+            )
+        total = self._window_total_locked()
+        if total > self.max_total_regression:
+            return (
+                f"window total cost regressed {total:.3f}x > "
+                f"{self.max_total_regression:.3f}x"
+            )
+        return None
+
+    def _window_total_locked(self) -> float:
+        baseline_total = sum(p.serving_cost for p in self._window)
+        candidate_total = sum(p.candidate_cost for p in self._window)
+        return candidate_total / max(baseline_total, 1e-12)
+
+    def _trigger_rollback(self, breach: str, generation: int) -> None:
+        """Roll the promotion back and record the audit entry."""
+        with self._lock:
+            if not self._armed or self._generation != generation:
+                return
+            candidate_version = self._candidate_version
+            baseline_version = self._baseline_version
+            probes = list(self._window)
+            total = self._window_total_locked()
+            # Disarm first: the rollback below swaps the serving version, and
+            # further shadow verdicts against a retired pair are meaningless.
+            self._armed = False
+            self._candidate_planner = None
+            self._baseline_planner = None
+        decision = PromotionDecision(
+            candidate_version=candidate_version,
+            serving_version=baseline_version,
+            promoted=False,
+            reason=(
+                f"live-traffic regression bound breached over "
+                f"{len(probes)} sampled requests: {breach}; automatic rollback"
+            ),
+            probes=probes,
+            max_regression=max((p.regression for p in probes), default=0.0),
+            regression_threshold=self.max_regression,
+            total_regression=total,
+            total_threshold=self.max_total_regression,
+        )
+        from repro.lifecycle.snapshot import LifecycleError
+
+        try:
+            # Compare-and-rollback: the registry only applies the rollback if
+            # the condemned candidate is *still* serving (checked under its
+            # lock), so a concurrent ops promotion is never unseated by this
+            # verdict — the stale verdict aborts with a LifecycleError.
+            if self.lifecycle is not None:
+                self.lifecycle.rollback(expected_serving=candidate_version)
+            else:
+                snapshot = self.registry.rollback(
+                    expected_serving=candidate_version
+                )
+                network = snapshot.restore(self._resolve_featurizer())
+                self.service.swap_network(network)
+            self.registry.record_decision(decision)
+            self.service.record_promotion_rejected()
+            with self._lock:
+                self._rollbacks += 1
+        except LifecycleError:
+            # Stale verdict (serving moved on) — nothing to roll back.
+            pass
+        except Exception:  # noqa: BLE001 - shadow path must not die
+            with self._lock:
+                self._errors += 1
+        finally:
+            self.disarm()
+
+    # ------------------------------------------------------------------ #
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Block until the sampled backlog is shadow-scored (or disarmed).
+
+        Returns True when the buffer emptied (or monitoring ended) within
+        ``timeout`` — the synchronisation point tests and the gateway's
+        graceful shutdown use.
+        """
+        deadline = time.monotonic() + timeout
+        self._wake.set()
+        while time.monotonic() < deadline:
+            with self._lock:
+                # "Drained" means the backlog is empty AND no sample is
+                # mid-replan: a verdict from the last popped query must be
+                # visible when this returns.
+                if self._closed or not self._armed or (
+                    not self._buffer and self._inflight == 0
+                ):
+                    return True
+            self._wake.set()
+            time.sleep(0.005)
+        return False
+
+    def stats(self) -> ShadowTrafficStats:
+        """A snapshot of the shadow-loop counters."""
+        with self._lock:
+            window = list(self._window)
+            return ShadowTrafficStats(
+                observed=self._observed,
+                sampled=self._sampled,
+                dropped=self._dropped,
+                replayed=self._replayed,
+                rollbacks=self._rollbacks,
+                errors=self._errors,
+                armed=self._armed,
+                candidate_version=self._candidate_version,
+                baseline_version=self._baseline_version,
+                rolling_regression=self._window_total_locked() if window else 0.0,
+                worst_regression=max(
+                    (p.regression for p in window), default=0.0
+                ),
+                window_samples=len(window),
+            )
+
+    def close(self) -> None:
+        """Stop the shadow worker (sampled-but-unscored queries are dropped)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._armed = False
+        self._wake.set()
+        self._worker.join(timeout=2.0)
+
+    def __enter__(self) -> "TrafficShadower":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _resolve_featurizer(self):
+        if self._featurizer is not None:
+            return self._featurizer
+        network = self.service.serving_network()
+        if network is None:
+            raise RuntimeError(
+                "traffic shadower needs a featurizer: pass one explicitly or "
+                "attach it to a service with a serving network"
+            )
+        return network.featurizer

@@ -1,0 +1,572 @@
+"""JSON wire codecs for the HTTP serving gateway.
+
+The planning envelopes were designed JSON-friendly (plain dataclasses, no
+live objects in the request path); this module makes the mapping explicit.
+Every codec is a pair of module-level functions — ``*_to_json_dict`` /
+``*_from_json_dict`` — plus thin methods on the dataclasses themselves that
+delegate here, so both ``request.to_json_dict()`` and
+``plan_request_to_json_dict(request)`` work.
+
+Design rules:
+
+- **Typed rejection.**  Malformed input raises :class:`WireFormatError`
+  (never a bare ``KeyError``/``TypeError``), so the gateway maps decode
+  failures to HTTP 400 without guessing.
+- **Strict JSON.**  Non-finite floats (``nan``/``inf`` predictions from
+  samplers) are encoded as the strings ``"NaN"`` / ``"Infinity"`` /
+  ``"-Infinity"`` rather than relying on Python's non-standard JSON
+  extensions; decoders map them back.  The gateway serialises with
+  ``allow_nan=False`` so a codec bug fails loudly instead of emitting
+  invalid JSON.
+- **Queries travel structurally or by name.**  A request's ``query`` field
+  may be a full structural object (tables/joins/filters) or a workload query
+  name resolved by the gateway's ``query_resolver``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.plans.nodes import JoinNode, JoinOperator, PlanNode, ScanNode, ScanOperator
+from repro.sql.expr import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.sql.query import Query, TableRef
+
+if TYPE_CHECKING:
+    from repro.lifecycle.shadow import PromotionDecision
+    from repro.planning.envelope import PlanRequest, PlanResult
+    from repro.service.metrics import ServiceMetrics
+    from repro.service.service import ServiceResponse
+
+#: Resolves a by-name ``query`` field to a workload query.
+QueryResolver = Callable[[str], Query]
+
+
+class WireFormatError(ValueError):
+    """A JSON payload does not decode to the expected wire shape."""
+
+
+# ---------------------------------------------------------------------- #
+# Scalar helpers
+# ---------------------------------------------------------------------- #
+def _float_to_wire(value: float) -> float | str:
+    """JSON-safe float: non-finite values become their string spellings."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+_WIRE_FLOATS = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+
+
+def _wire_floats_back(value: Any) -> Any:
+    """Map the non-finite wire spellings back to floats, recursively.
+
+    The inverse of :func:`jsonable` for the free-form ``knobs`` / ``extra``
+    mappings.  A *legitimate* string value of ``"NaN"`` is indistinguishable
+    from an encoded float on the wire — the documented trade-off of keeping
+    the format strictly JSON.
+    """
+    if isinstance(value, str):
+        return _WIRE_FLOATS.get(value, value)
+    if isinstance(value, dict):
+        return {name: _wire_floats_back(item) for name, item in value.items()}
+    if isinstance(value, list):
+        return [_wire_floats_back(item) for item in value]
+    return value
+
+
+def _float_from_wire(value: object, context: str) -> float:
+    if isinstance(value, bool):
+        raise WireFormatError(f"{context}: expected a number, got {value!r}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str) and value in _WIRE_FLOATS:
+        return _WIRE_FLOATS[value]
+    raise WireFormatError(f"{context}: expected a number, got {value!r}")
+
+
+def _require_dict(payload: object, context: str) -> dict:
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"{context}: expected a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _require_list(value: object, context: str) -> list:
+    if not isinstance(value, list):
+        raise WireFormatError(
+            f"{context}: expected a JSON array, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_str(value: object, context: str) -> str:
+    if not isinstance(value, str):
+        raise WireFormatError(
+            f"{context}: expected a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_int(value: object, context: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireFormatError(
+            f"{context}: expected an integer, got {value!r}"
+        )
+    return value
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of ``value`` into JSON-native types.
+
+    Used for the free-form ``knobs`` / ``extra`` mappings: numpy scalars
+    become Python numbers, tuples/sets become lists, non-finite floats become
+    their wire spellings, and anything else unrepresentable falls back to
+    ``str`` (the fields are advisory, never load-bearing).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return _float_to_wire(value)
+    if isinstance(value, Mapping):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(item) for item in value]
+    if hasattr(value, "item"):  # numpy scalars
+        try:
+            return jsonable(value.item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+# ---------------------------------------------------------------------- #
+# Query
+# ---------------------------------------------------------------------- #
+def query_to_json_dict(query: Query) -> dict:
+    """Structural JSON form of a :class:`Query` (tables, joins, filters)."""
+    filters = []
+    for flt in query.filters:
+        value: Any = flt.value
+        if isinstance(value, tuple):
+            value = [jsonable(item) for item in value]
+        else:
+            value = jsonable(value)
+        filters.append(
+            {"alias": flt.alias, "column": flt.column, "op": flt.op.value, "value": value}
+        )
+    return {
+        "name": query.name,
+        "tables": [{"table": t.table, "alias": t.alias} for t in query.tables],
+        "joins": [
+            {
+                "left_alias": j.left_alias,
+                "left_column": j.left_column,
+                "right_alias": j.right_alias,
+                "right_column": j.right_column,
+            }
+            for j in query.joins
+        ],
+        "filters": filters,
+    }
+
+
+def query_from_json_dict(payload: object) -> Query:
+    """Decode :func:`query_to_json_dict` output back into a :class:`Query`."""
+    payload = _require_dict(payload, "query")
+    name = _require_str(payload.get("name", ""), "query.name")
+    raw_tables = _require_list(payload.get("tables"), "query.tables")
+    if not raw_tables:
+        raise WireFormatError("query.tables: a query needs at least one table")
+    tables = []
+    for index, entry in enumerate(raw_tables):
+        entry = _require_dict(entry, f"query.tables[{index}]")
+        tables.append(
+            TableRef(
+                table=_require_str(entry.get("table"), f"query.tables[{index}].table"),
+                alias=_require_str(entry.get("alias"), f"query.tables[{index}].alias"),
+            )
+        )
+    joins = []
+    for index, entry in enumerate(_require_list(payload.get("joins", []), "query.joins")):
+        entry = _require_dict(entry, f"query.joins[{index}]")
+        context = f"query.joins[{index}]"
+        joins.append(
+            JoinPredicate(
+                left_alias=_require_str(entry.get("left_alias"), context),
+                left_column=_require_str(entry.get("left_column"), context),
+                right_alias=_require_str(entry.get("right_alias"), context),
+                right_column=_require_str(entry.get("right_column"), context),
+            )
+        )
+    filters = []
+    for index, entry in enumerate(
+        _require_list(payload.get("filters", []), "query.filters")
+    ):
+        entry = _require_dict(entry, f"query.filters[{index}]")
+        context = f"query.filters[{index}]"
+        op_value = _require_str(entry.get("op"), f"{context}.op")
+        try:
+            op = ComparisonOp(op_value)
+        except ValueError:
+            raise WireFormatError(
+                f"{context}.op: unknown comparison operator {op_value!r}"
+            ) from None
+        value = entry.get("value")
+        if op in (ComparisonOp.IN, ComparisonOp.BETWEEN):
+            value = tuple(_require_list(value, f"{context}.value"))
+            if op is ComparisonOp.BETWEEN and len(value) != 2:
+                raise WireFormatError(
+                    f"{context}.value: BETWEEN needs exactly [low, high]"
+                )
+        filters.append(
+            FilterPredicate(
+                alias=_require_str(entry.get("alias"), f"{context}.alias"),
+                column=_require_str(entry.get("column"), f"{context}.column"),
+                op=op,
+                value=value,
+            )
+        )
+    try:
+        return Query(
+            name=name, tables=tuple(tables), joins=tuple(joins), filters=tuple(filters)
+        )
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(f"query: {error}") from error
+
+
+# ---------------------------------------------------------------------- #
+# Plans
+# ---------------------------------------------------------------------- #
+def plan_to_json_dict(plan: PlanNode) -> dict:
+    """JSON form of a plan tree (scan leaves and join internals)."""
+    if isinstance(plan, ScanNode):
+        return {
+            "scan": {
+                "alias": plan.alias,
+                "table": plan.table,
+                "operator": plan.operator.value,
+            }
+        }
+    if isinstance(plan, JoinNode):
+        return {
+            "join": {
+                "operator": plan.operator.value,
+                "left": plan_to_json_dict(plan.left),
+                "right": plan_to_json_dict(plan.right),
+            }
+        }
+    raise WireFormatError(f"cannot encode plan node of type {type(plan).__name__}")
+
+
+def plan_from_json_dict(payload: object) -> PlanNode:
+    """Decode :func:`plan_to_json_dict` output back into a plan tree."""
+    payload = _require_dict(payload, "plan")
+    if "scan" in payload:
+        scan = _require_dict(payload["scan"], "plan.scan")
+        try:
+            operator = ScanOperator(scan.get("operator", ScanOperator.SEQ_SCAN.value))
+        except ValueError:
+            raise WireFormatError(
+                f"plan.scan.operator: unknown operator {scan.get('operator')!r}"
+            ) from None
+        return ScanNode(
+            alias=_require_str(scan.get("alias"), "plan.scan.alias"),
+            table=_require_str(scan.get("table"), "plan.scan.table"),
+            operator=operator,
+        )
+    if "join" in payload:
+        join = _require_dict(payload["join"], "plan.join")
+        try:
+            operator = JoinOperator(join.get("operator", JoinOperator.HASH_JOIN.value))
+        except ValueError:
+            raise WireFormatError(
+                f"plan.join.operator: unknown operator {join.get('operator')!r}"
+            ) from None
+        try:
+            return JoinNode(
+                left=plan_from_json_dict(join.get("left")),
+                right=plan_from_json_dict(join.get("right")),
+                operator=operator,
+            )
+        except ValueError as error:  # overlapping alias sets
+            raise WireFormatError(f"plan.join: {error}") from error
+    raise WireFormatError("plan: expected exactly one of 'scan' or 'join'")
+
+
+# ---------------------------------------------------------------------- #
+# PlanRequest
+# ---------------------------------------------------------------------- #
+def plan_request_to_json_dict(request: "PlanRequest") -> dict:
+    """JSON form of a :class:`~repro.planning.envelope.PlanRequest`."""
+    return {
+        "query": query_to_json_dict(request.query),
+        "k": request.k,
+        "deadline_seconds": request.deadline_seconds,
+        "priority": request.priority,
+        "knobs": {str(name): jsonable(value) for name, value in request.knobs.items()},
+    }
+
+
+def plan_request_from_json_dict(
+    payload: object, query_resolver: QueryResolver | None = None
+) -> "PlanRequest":
+    """Decode a request payload; ``query`` may be structural or a name.
+
+    Args:
+        payload: Decoded JSON object.
+        query_resolver: Maps a by-name ``query`` field (a string) to a
+            workload :class:`Query`.  Required for by-name requests; a
+            resolver miss (``KeyError``) becomes a :class:`WireFormatError`.
+    """
+    from repro.planning.envelope import PlanRequest
+
+    payload = _require_dict(payload, "plan request")
+    raw_query = payload.get("query")
+    if isinstance(raw_query, str):
+        if query_resolver is None:
+            raise WireFormatError(
+                f"query: by-name reference {raw_query!r} needs a gateway "
+                "workload to resolve against"
+            )
+        try:
+            query = query_resolver(raw_query)
+        except KeyError:
+            raise WireFormatError(f"query: unknown query name {raw_query!r}") from None
+    else:
+        query = query_from_json_dict(raw_query)
+    deadline = payload.get("deadline_seconds")
+    if deadline is not None:
+        deadline = _float_from_wire(deadline, "deadline_seconds")
+    knobs = _require_dict(payload.get("knobs", {}), "knobs")
+    try:
+        return PlanRequest(
+            query=query,
+            k=_require_int(payload.get("k", 1), "k"),
+            deadline_seconds=deadline,
+            priority=_require_int(payload.get("priority", 0), "priority"),
+            knobs=_wire_floats_back(knobs),
+        )
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(f"plan request: {error}") from error
+
+
+# ---------------------------------------------------------------------- #
+# PlanResult / ServiceResponse
+# ---------------------------------------------------------------------- #
+def plan_result_to_json_dict(result: "PlanResult") -> dict:
+    """JSON form of a :class:`~repro.planning.envelope.PlanResult`."""
+    return {
+        "plans": [plan_to_json_dict(plan) for plan in result.plans],
+        "predicted_latencies": [
+            _float_to_wire(value) for value in result.predicted_latencies
+        ],
+        "planning_seconds": _float_to_wire(result.planning_seconds),
+        "states_expanded": result.states_expanded,
+        "plans_scored": result.plans_scored,
+        "planner_name": result.planner_name,
+        "deadline_exceeded": bool(result.deadline_exceeded),
+        "cacheable": bool(result.cacheable),
+        "extra": {str(name): jsonable(value) for name, value in result.extra.items()},
+    }
+
+
+def plan_result_from_json_dict(payload: object) -> "PlanResult":
+    """Decode :func:`plan_result_to_json_dict` output."""
+    from repro.planning.envelope import PlanResult
+
+    payload = _require_dict(payload, "plan result")
+    plans = [
+        plan_from_json_dict(entry)
+        for entry in _require_list(payload.get("plans", []), "plans")
+    ]
+    predictions = [
+        _float_from_wire(value, f"predicted_latencies[{index}]")
+        for index, value in enumerate(
+            _require_list(payload.get("predicted_latencies", []), "predicted_latencies")
+        )
+    ]
+    try:
+        return PlanResult(
+            plans=plans,
+            predicted_latencies=predictions,
+            planning_seconds=_float_from_wire(
+                payload.get("planning_seconds", 0.0), "planning_seconds"
+            ),
+            states_expanded=_require_int(
+                payload.get("states_expanded", 0), "states_expanded"
+            ),
+            plans_scored=_require_int(payload.get("plans_scored", 0), "plans_scored"),
+            planner_name=_require_str(payload.get("planner_name", ""), "planner_name"),
+            deadline_exceeded=bool(payload.get("deadline_exceeded", False)),
+            cacheable=bool(payload.get("cacheable", True)),
+            extra=_wire_floats_back(dict(_require_dict(payload.get("extra", {}), "extra"))),
+        )
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(f"plan result: {error}") from error
+
+
+def service_response_to_json_dict(response: "ServiceResponse") -> dict:
+    """JSON form of a service response: the result plus per-request stats."""
+    body = plan_result_to_json_dict(response)
+    body["query_name"] = response.query.name if response.query is not None else None
+    stats = response.stats
+    if stats is not None:
+        body["stats"] = {
+            "cache_hit": stats.cache_hit,
+            "coalesced": stats.coalesced,
+            "queue_wait_seconds": _float_to_wire(stats.queue_wait_seconds),
+            "planning_seconds": _float_to_wire(stats.planning_seconds),
+            "service_seconds": _float_to_wire(stats.service_seconds),
+            "model_version": jsonable(stats.model_version),
+            "planner_name": stats.planner_name,
+            "deadline_exceeded": stats.deadline_exceeded,
+            "priority": stats.priority,
+        }
+    else:
+        body["stats"] = None
+    return body
+
+
+# ---------------------------------------------------------------------- #
+# ServiceMetrics
+# ---------------------------------------------------------------------- #
+def service_metrics_to_json_dict(metrics: "ServiceMetrics") -> dict:
+    """Faithful (non-flattened) JSON form of a metrics report."""
+    from dataclasses import asdict
+
+    body = {
+        name: (_float_to_wire(value) if isinstance(value, float) else value)
+        for name, value in asdict(metrics).items()
+        if name not in ("cache", "scoring")
+    }
+    body["cache"] = asdict(metrics.cache)
+    body["scoring"] = asdict(metrics.scoring)
+    body["derived"] = {
+        "hit_rate": _float_to_wire(metrics.hit_rate),
+        "mean_queue_wait_seconds": _float_to_wire(metrics.mean_queue_wait_seconds),
+        "mean_planning_seconds": _float_to_wire(metrics.mean_planning_seconds),
+        "queries_per_second": _float_to_wire(metrics.queries_per_second),
+    }
+    return body
+
+
+def service_metrics_from_json_dict(payload: object) -> "ServiceMetrics":
+    """Decode :func:`service_metrics_to_json_dict` output."""
+    from dataclasses import fields as dataclass_fields
+
+    from repro.scoring.protocol import ScoringBridgeStats
+    from repro.service.cache import CacheStats
+    from repro.service.metrics import ServiceMetrics
+
+    payload = _require_dict(payload, "service metrics")
+
+    def load(cls, body: object, context: str):
+        body = _require_dict(body, context)
+        kwargs = {}
+        for field_info in dataclass_fields(cls):
+            if field_info.name in ("cache", "scoring"):
+                continue
+            if field_info.name in body:
+                value = body[field_info.name]
+                if field_info.type in ("float", float):
+                    value = _float_from_wire(value, f"{context}.{field_info.name}")
+                kwargs[field_info.name] = value
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as error:
+            raise WireFormatError(f"{context}: {error}") from error
+
+    metrics = load(ServiceMetrics, payload, "service metrics")
+    metrics.cache = load(CacheStats, payload.get("cache", {}), "service metrics.cache")
+    metrics.scoring = load(
+        ScoringBridgeStats, payload.get("scoring", {}), "service metrics.scoring"
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------- #
+# PromotionDecision
+# ---------------------------------------------------------------------- #
+def promotion_decision_to_json_dict(decision: "PromotionDecision") -> dict:
+    """JSON form of a shadow-gate (or live-traffic) promotion decision."""
+    return {
+        "candidate_version": decision.candidate_version,
+        "serving_version": decision.serving_version,
+        "promoted": decision.promoted,
+        "reason": decision.reason,
+        "probes": [
+            {
+                "query_name": probe.query_name,
+                "serving_cost": _float_to_wire(probe.serving_cost),
+                "candidate_cost": _float_to_wire(probe.candidate_cost),
+                "regression": _float_to_wire(probe.regression),
+            }
+            for probe in decision.probes
+        ],
+        "max_regression": _float_to_wire(decision.max_regression),
+        "regression_threshold": _float_to_wire(decision.regression_threshold),
+        "total_regression": _float_to_wire(decision.total_regression),
+        "total_threshold": _float_to_wire(decision.total_threshold),
+        "created_at": _float_to_wire(decision.created_at),
+    }
+
+
+def promotion_decision_from_json_dict(payload: object) -> "PromotionDecision":
+    """Decode :func:`promotion_decision_to_json_dict` output."""
+    from repro.lifecycle.shadow import ProbeResult, PromotionDecision
+
+    payload = _require_dict(payload, "promotion decision")
+    probes = []
+    for index, entry in enumerate(_require_list(payload.get("probes", []), "probes")):
+        entry = _require_dict(entry, f"probes[{index}]")
+        probes.append(
+            ProbeResult(
+                query_name=_require_str(
+                    entry.get("query_name"), f"probes[{index}].query_name"
+                ),
+                serving_cost=_float_from_wire(
+                    entry.get("serving_cost"), f"probes[{index}].serving_cost"
+                ),
+                candidate_cost=_float_from_wire(
+                    entry.get("candidate_cost"), f"probes[{index}].candidate_cost"
+                ),
+                regression=_float_from_wire(
+                    entry.get("regression"), f"probes[{index}].regression"
+                ),
+            )
+        )
+    candidate_version = payload.get("candidate_version")
+    serving_version = payload.get("serving_version")
+    if candidate_version is not None:
+        candidate_version = _require_int(candidate_version, "candidate_version")
+    if serving_version is not None:
+        serving_version = _require_int(serving_version, "serving_version")
+    try:
+        return PromotionDecision(
+            candidate_version=candidate_version,
+            serving_version=serving_version,
+            promoted=bool(payload.get("promoted", False)),
+            reason=_require_str(payload.get("reason", ""), "reason"),
+            probes=probes,
+            max_regression=_float_from_wire(
+                payload.get("max_regression", 0.0), "max_regression"
+            ),
+            regression_threshold=_float_from_wire(
+                payload.get("regression_threshold", 0.0), "regression_threshold"
+            ),
+            total_regression=_float_from_wire(
+                payload.get("total_regression", 0.0), "total_regression"
+            ),
+            total_threshold=_float_from_wire(
+                payload.get("total_threshold", 0.0), "total_threshold"
+            ),
+            created_at=_float_from_wire(payload.get("created_at", 0.0), "created_at"),
+        )
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(f"promotion decision: {error}") from error

@@ -159,6 +159,25 @@ class ServiceMetrics:
             "scoring_max_batch": self.scoring.max_batch_examples,
         }
 
+    def to_json_dict(self) -> dict:
+        """Faithful JSON form (nested cache/scoring counters preserved).
+
+        Unlike :meth:`as_dict` — which flattens a headline subset for
+        benchmark artifacts — this round-trips through
+        :meth:`from_json_dict`, so gateway clients can reconstruct the full
+        report programmatically.
+        """
+        from repro.server.wire import service_metrics_to_json_dict
+
+        return service_metrics_to_json_dict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: object) -> "ServiceMetrics":
+        """Decode :meth:`to_json_dict` output; ``WireFormatError`` on bad input."""
+        from repro.server.wire import service_metrics_from_json_dict
+
+        return service_metrics_from_json_dict(payload)
+
     def format_report(self) -> str:
         """A short human-readable summary."""
         lines = [

@@ -91,6 +91,12 @@ class ServiceResponse(PlanResult):
         """Whether the plan cache answered this request."""
         return self.stats.cache_hit
 
+    def to_json_dict(self) -> dict:
+        """JSON-safe dict form: the result plus per-request service stats."""
+        from repro.server.wire import service_response_to_json_dict
+
+        return service_response_to_json_dict(self)
+
 
 def _knobs_key(request: PlanRequest) -> tuple:
     """Canonical hashable form of the request's knobs for cache/flight keys.

@@ -35,6 +35,7 @@ EXPECTED_API = sorted(
         "PlannerRegistry",
         "PlannerService",
         "PlanningError",
+        "PlanningServer",
         "PlanRequest",
         "PlanResult",
         "ProcessPoolBackend",
@@ -45,19 +46,42 @@ EXPECTED_API = sorted(
         "ServiceMetrics",
         "ServiceResponse",
         "ShadowEvaluator",
+        "ShadowTrafficStats",
         "StateDictMismatchError",
         "ThreadedBatchingBackend",
+        "TrafficShadower",
         "UnknownPlannerError",
+        "WireFormatError",
         "WorkloadBenchmark",
         "make_job_benchmark",
         "make_scoring_backend",
         "make_tpch_benchmark",
         "merge_agent_experiences",
+        "plan_request_from_json_dict",
+        "plan_request_to_json_dict",
+        "plan_result_from_json_dict",
+        "plan_result_to_json_dict",
         "planner_version",
+        "query_from_json_dict",
+        "query_to_json_dict",
         "registry_from_benchmark",
         "retrain_from_experience",
     ]
 )
+
+
+def test_server_module_surface():
+    import repro.server as server
+
+    for name in server.__all__:
+        assert getattr(server, name, None) is not None, (
+            f"repro.server.{name} does not resolve"
+        )
+    import repro.api as api_module
+
+    assert api_module.PlanningServer is server.PlanningServer
+    assert api_module.TrafficShadower is server.TrafficShadower
+    assert api_module.WireFormatError is server.WireFormatError
 
 
 def test_every_api_name_resolves():

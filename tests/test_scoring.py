@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -525,6 +526,79 @@ class TestProcessBackendFailures:
                     queries[0], candidate_plans[queries[0].name], version=_CRASH_TOKEN
                 )
             assert backend.alive_workers() == 1
+        finally:
+            backend.close()
+
+
+@pytest.mark.skipif("process" not in BACKENDS, reason="process backend filtered out")
+class TestProcessBackendRespawn:
+    """With a ``max_respawns`` budget, crashed scorers are replaced."""
+
+    @staticmethod
+    def _wait_alive(backend, count: int, timeout: float = 15.0) -> int:
+        deadline = time.monotonic() + timeout
+        while backend.alive_workers() != count and time.monotonic() < deadline:
+            time.sleep(0.05)
+        return backend.alive_workers()
+
+    def test_crashed_worker_respawns_and_serves(
+        self, bench, queries, candidate_plans
+    ):
+        network = small_network(bench.featurizer)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        backend = ProcessPoolBackend(
+            bench.featurizer, num_workers=1, submit_timeout_seconds=60.0,
+            max_respawns=2,
+        )
+        backend._allow_crash_token = True
+        try:
+            # The crash still fails its own batch with the typed error...
+            with pytest.raises(ScoringBackendError, match="died mid-batch"):
+                backend.submit(query, plans, version=_CRASH_TOKEN)
+            # ...but the slot is refilled instead of the pool shrinking to 0.
+            assert self._wait_alive(backend, 1) == 1
+            stats = backend.stats()
+            assert stats.worker_crashes == 1
+            assert stats.workers_respawned == 1
+            # The respawned worker restores the snapshot from the spool and
+            # serves correct predictions.
+            np.testing.assert_allclose(
+                backend.submit(query, plans, version=network),
+                network.predict(query, plans),
+            )
+        finally:
+            backend.close()
+
+    def test_respawn_budget_is_bounded(self, bench, queries, candidate_plans):
+        network = small_network(bench.featurizer)
+        query = queries[0]
+        plans = candidate_plans[query.name]
+        backend = ProcessPoolBackend(
+            bench.featurizer, num_workers=1, submit_timeout_seconds=60.0,
+            max_respawns=1,
+        )
+        backend._allow_crash_token = True
+        try:
+            with pytest.raises(ScoringBackendError, match="died mid-batch"):
+                backend.submit(query, plans, version=_CRASH_TOKEN)
+            assert self._wait_alive(backend, 1) == 1
+            # Second crash: the pool-wide budget is spent, no replacement.
+            with pytest.raises(ScoringBackendError):
+                backend.submit(query, plans, version=_CRASH_TOKEN)
+            assert self._wait_alive(backend, 0) == 0
+            stats = backend.stats()
+            assert stats.worker_crashes == 2
+            assert stats.workers_respawned == 1
+            with pytest.raises(ScoringBackendError, match="all scorer processes"):
+                backend.submit(query, plans, version=network)
+        finally:
+            backend.close()
+
+    def test_default_keeps_historical_no_respawn_behaviour(self):
+        backend = ProcessPoolBackend(num_workers=1)
+        try:
+            assert backend.max_respawns == 0
         finally:
             backend.close()
 
