@@ -1,0 +1,198 @@
+"""CI perf-regression gate over pytest-benchmark ``--benchmark-json`` output.
+
+Compares the headline ``extra_info`` metrics a benchmark emitted against a
+committed baseline file and fails (exit 1) when any check is violated, with
+one clear message per violation.  Baselines live in
+``benchmarks/baselines/*.json``:
+
+.. code-block:: json
+
+    {
+      "benchmark": "bench_http_gateway",
+      "description": "single-process gateway load",
+      "checks": [
+        {"metric": "failed_requests", "max": 0},
+        {"metric": "service_cache_hit_rate", "min": 0.5},
+        {"metric": "http_qps", "baseline": 100.0,
+         "direction": "higher", "tolerance": 0.5},
+        {"metric": "qps_scaling_4w_vs_1w", "min": 1.6,
+         "when_cpus_at_least": 4}
+      ]
+    }
+
+Check semantics (a check may combine several bounds):
+
+- ``max`` / ``min`` — absolute bounds on the measured value;
+- ``baseline`` + ``direction`` (+ ``tolerance``, default 0.25) — relative
+  band: with ``direction: "higher"`` (bigger is better) the value must stay
+  above ``baseline * (1 - tolerance)``; with ``"lower"`` below
+  ``baseline * (1 + tolerance)``;
+- ``required`` (default true) — a missing metric is itself a violation
+  unless ``required`` is false;
+- ``when_cpus_at_least`` — skip the check on smaller runners (CPU count
+  from the results' ``available_cpus`` extra_info, else ``os.cpu_count()``)
+  so hardware-dependent bars (QPS scaling) only gate where they can hold.
+
+Usage (pairs are matched positionally, any number of them)::
+
+    python benchmarks/check_regression.py \\
+        --baseline benchmarks/baselines/gateway.json --results gateway.json \\
+        --baseline benchmarks/baselines/scoring.json --results scoring.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_extra_info(results: dict, benchmark_filter: str | None = None) -> dict:
+    """Merged ``extra_info`` of the (filtered) benchmarks in a results dict.
+
+    ``benchmark_filter`` selects benchmarks whose ``name`` (or the test part
+    of ``fullname``, after ``::``) contains the substring; None takes every
+    benchmark in the file.  The module path before ``::`` is deliberately NOT
+    matched — a file named ``bench_http_gateway.py`` must not drag every
+    benchmark it contains into a ``bench_http_gateway`` filter.  Later
+    benchmarks win key collisions (rare: headline keys are bench-specific).
+    """
+    merged: dict = {}
+    for entry in results.get("benchmarks", []):
+        name = entry.get("name", "")
+        testname = entry.get("fullname", "").rsplit("::", 1)[-1]
+        if benchmark_filter and (
+            benchmark_filter not in name and benchmark_filter not in testname
+        ):
+            continue
+        merged.update(entry.get("extra_info", {}) or {})
+    return merged
+
+
+def _check_one(check: dict, metrics: dict, cpus: int) -> list[str]:
+    """Violation messages for one baseline check (empty = pass/skip)."""
+    metric = check.get("metric")
+    if not metric:
+        return [f"baseline check is missing 'metric': {check!r}"]
+    needed = check.get("when_cpus_at_least")
+    if needed is not None and cpus < needed:
+        return []
+    if metric not in metrics:
+        if check.get("required", True):
+            return [
+                f"{metric}: missing from the results' extra_info "
+                f"(available: {sorted(metrics) or 'none'})"
+            ]
+        return []
+    try:
+        value = float(metrics[metric])
+    except (TypeError, ValueError):
+        return [f"{metric}: value {metrics[metric]!r} is not numeric"]
+
+    violations = []
+    if "max" in check and value > float(check["max"]):
+        violations.append(
+            f"{metric}: {value:g} exceeds the allowed maximum {check['max']:g}"
+        )
+    if "min" in check and value < float(check["min"]):
+        violations.append(
+            f"{metric}: {value:g} is below the required minimum {check['min']:g}"
+        )
+    if "baseline" in check:
+        baseline = float(check["baseline"])
+        tolerance = float(check.get("tolerance", DEFAULT_TOLERANCE))
+        direction = check.get("direction", "higher")
+        if direction == "higher":
+            floor = baseline * (1.0 - tolerance)
+            if value < floor:
+                violations.append(
+                    f"{metric}: {value:g} regressed below {floor:g} "
+                    f"(baseline {baseline:g}, tolerance -{tolerance:.0%})"
+                )
+        elif direction == "lower":
+            ceiling = baseline * (1.0 + tolerance)
+            if value > ceiling:
+                violations.append(
+                    f"{metric}: {value:g} regressed above {ceiling:g} "
+                    f"(baseline {baseline:g}, tolerance +{tolerance:.0%})"
+                )
+        else:
+            violations.append(
+                f"{metric}: unknown direction {direction!r} "
+                "(expected 'higher' or 'lower')"
+            )
+    return violations
+
+
+def evaluate(baseline: dict, results: dict, cpus: int | None = None) -> list[str]:
+    """All violation messages for one (baseline, results) pair."""
+    metrics = load_extra_info(results, baseline.get("benchmark"))
+    if cpus is None:
+        reported = metrics.get("available_cpus")
+        try:
+            cpus = int(reported) if reported is not None else (os.cpu_count() or 1)
+        except (TypeError, ValueError):
+            cpus = os.cpu_count() or 1
+    checks = baseline.get("checks", [])
+    if not checks:
+        return [f"baseline {baseline.get('description', '?')!r} has no checks"]
+    violations = []
+    for check in checks:
+        violations.extend(_check_one(check, metrics, cpus))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate benchmark extra_info metrics against committed baselines."
+    )
+    parser.add_argument(
+        "--baseline", action="append", default=[], metavar="BASELINE_JSON",
+        help="baseline file; repeat for more pairs",
+    )
+    parser.add_argument(
+        "--results", action="append", default=[], metavar="RESULTS_JSON",
+        help="pytest-benchmark --benchmark-json output; pairs with --baseline "
+        "positionally",
+    )
+    parser.add_argument(
+        "--cpus", type=int, default=None,
+        help="override the CPU count used for when_cpus_at_least gating",
+    )
+    args = parser.parse_args(argv)
+    if not args.baseline or len(args.baseline) != len(args.results):
+        parser.error("--baseline and --results must appear the same number of times")
+
+    failed = False
+    for baseline_path, results_path in zip(args.baseline, args.results):
+        try:
+            with open(baseline_path, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"FAIL {baseline_path}: unreadable baseline ({error})")
+            failed = True
+            continue
+        try:
+            with open(results_path, encoding="utf-8") as handle:
+                results = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"FAIL {results_path}: unreadable results ({error})")
+            failed = True
+            continue
+        label = baseline.get("description") or os.path.basename(baseline_path)
+        violations = evaluate(baseline, results, cpus=args.cpus)
+        if violations:
+            failed = True
+            print(f"FAIL {label} ({results_path}):")
+            for violation in violations:
+                print(f"  - {violation}")
+        else:
+            print(f"PASS {label} ({len(baseline.get('checks', []))} checks)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

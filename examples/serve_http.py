@@ -15,6 +15,16 @@ Run with::
 With ``--persist-dir``, a restart resumes the last promoted model::
 
     python examples/serve_http.py --persist-dir /tmp/repro-models --smoke
+
+With ``--workers N`` (N > 1) the script boots the pre-fork
+:class:`~repro.server.ShardedGateway` instead: N worker processes share one
+listening port and a cross-process plan-cache tier.  Smoke mode then checks
+that every worker answers and that a plan computed by one worker is a shared
+cache hit for the others.  Model promote/rollback are per-process operations
+and are skipped in sharded smoke mode (cross-worker ops coherence is a
+recorded follow-up)::
+
+    python examples/serve_http.py --smoke --workers 2
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ from repro.costmodel.cout import CoutCostModel
 from repro.lifecycle import LifecycleError, ModelRegistry
 from repro.model.value_network import ValueNetwork, ValueNetworkConfig
 from repro.search.beam import BeamSearchPlanner
-from repro.server import PlanningServer, TrafficShadower
+from repro.server import PlanningServer, ShardedGateway, TrafficShadower
 from repro.service.service import PlannerService
 from repro.workloads.benchmark import make_job_benchmark
 
@@ -102,13 +112,137 @@ def smoke(base_url: str, query_names: list[str]) -> None:
         )
 
 
+def http_with_headers(url: str) -> tuple[int, dict, dict]:
+    """One GET, also returning the response headers (for X-Repro-Worker)."""
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return (
+            response.status,
+            json.loads(response.read().decode("utf-8")),
+            dict(response.headers),
+        )
+
+
+def sharded_smoke(gateway: ShardedGateway, query_names: list[str]) -> None:
+    """Check every worker answers and the shared cache tier carries plans.
+
+    Promote/rollback are exercised only in single-process smoke: each worker
+    holds its own registry, so ops calls land on whichever worker the kernel
+    picks (cross-worker ops coherence is a recorded follow-up).
+    """
+    base_url = gateway.base_url
+    expected = set(range(gateway.num_workers))
+    seen: set[int] = set()
+    deadline = time.monotonic() + 30.0
+    while seen != expected and time.monotonic() < deadline:
+        status, body, headers = http_with_headers(f"{base_url}/healthz")
+        assert status == 200, f"/healthz returned {status}"
+        worker = headers.get("X-Repro-Worker")
+        if worker is not None:
+            seen.add(int(worker))
+            assert int(worker) == body["worker_id"]
+    assert seen == expected, f"only workers {sorted(seen)} of {sorted(expected)} answered"
+    print(f"GET /healthz -> 200 from all {len(seen)} workers: {sorted(seen)}")
+
+    status, body = http("POST", f"{base_url}/v1/plan", {"query": query_names[0], "k": 2})
+    assert status == 200, f"/v1/plan returned {status}"
+    print(f"POST /v1/plan ({query_names[0]!r}) -> {status}: {len(body['plans'])} plans")
+
+    status, body = http(
+        "POST", f"{base_url}/v1/plan_many",
+        {"requests": [{"query": name} for name in query_names]},
+    )
+    assert status == 200, f"/v1/plan_many returned {status}"
+    print(f"POST /v1/plan_many -> {status}: {len(body['results'])} results")
+
+    # Re-plan the same queries until every worker has served at least one;
+    # repeats that land on a different worker should come from the shared tier.
+    served: set[int] = set()
+    deadline = time.monotonic() + 30.0
+    while served != expected and time.monotonic() < deadline:
+        for name in query_names:
+            http("POST", f"{base_url}/v1/plan", {"query": name, "k": 2})
+        status, body, headers = http_with_headers(f"{base_url}/v1/metrics")
+        assert status == 200, f"/v1/metrics returned {status}"
+        served.add(int(headers["X-Repro-Worker"]))
+    assert served == expected, f"metrics answered by {sorted(served)} only"
+    print(f"GET /v1/metrics -> 200 from all {len(served)} workers")
+
+    status, body = http("GET", f"{base_url}/v1/models")
+    assert status == 200, f"/v1/models returned {status}"
+    print(f"GET /v1/models -> {status}: serving v{body['serving_version']}")
+
+    cache = gateway.shared_cache_stats() or {}
+    print(
+        f"shared cache tier: {cache.get('inserts', 0)} inserts, "
+        f"{cache.get('hits', 0)} hits, {cache.get('size', 0)} entries"
+    )
+    assert cache.get("inserts", 0) > 0, "no plans reached the shared cache tier"
+    stats = gateway.stats()
+    assert stats["alive_workers"] == gateway.num_workers
+    print(f"supervisor: {stats['alive_workers']} workers alive, {stats['respawns_used']} respawns")
+
+
+def run_sharded(args, benchmark, network, planner, queries) -> None:
+    """Boot the pre-fork sharded gateway and (optionally) smoke it."""
+
+    def worker_factory(spec):
+        # Runs in the forked child: the network/benchmark/planner objects are
+        # inherited from the parent; the service (thread pool) and registry
+        # are per worker.
+        service = PlannerService(network, planner=planner, max_workers=2)
+        registry = ModelRegistry()
+        baseline = registry.register(network, source="baseline")
+        registry.promote(baseline.version)
+        return PlanningServer(
+            service,
+            registry=registry,
+            queries=queries,
+            featurizer=benchmark.featurizer,
+            host=spec.host,
+            port=spec.port,
+        )
+
+    gateway = ShardedGateway(
+        worker_factory,
+        num_workers=args.workers,
+        host=args.host,
+        port=args.port,
+    ).start()
+    stats = gateway.stats()
+    mode = "SO_REUSEPORT" if stats["reuse_port"] else "inherited listener"
+    print(
+        f"sharded gateway listening on {gateway.base_url} "
+        f"({stats['num_workers']} workers, {mode}, pids {gateway.worker_pids()})"
+    )
+    print(f"  try: curl -s {gateway.base_url}/healthz")
+
+    try:
+        if args.smoke:
+            sharded_smoke(gateway, [query.name for query in queries[:5]])
+            print("smoke: every endpoint answered from every worker")
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        gateway.close()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 boots the pre-fork sharded gateway with a "
+        "shared plan-cache tier (--persist-dir then applies per worker and is "
+        "ignored)",
+    )
+    parser.add_argument(
         "--persist-dir", type=Path, default=None,
-        help="registry directory; restarts resume the last promoted model",
+        help="registry directory; restarts resume the last promoted model "
+        "(single-process mode only)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -116,7 +250,12 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    # 1. The workload and the serving stack.
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    # 1. The workload and the serving stack.  Built once, before any fork,
+    # so sharded workers inherit the SAME network object and their plan-cache
+    # keys (which embed the model version) agree across processes.
     benchmark = make_job_benchmark(
         fact_rows=400, num_queries=12, num_templates=4, test_size=3,
         seed=0, size_range=(3, 5),
@@ -130,6 +269,11 @@ def main() -> None:
         ),
     )
     planner = BeamSearchPlanner(beam_size=3, top_k=2, enumerate_scan_operators=False)
+
+    if args.workers > 1:
+        run_sharded(args, benchmark, network, planner, queries)
+        return
+
     service = PlannerService(network, planner=planner, max_workers=4)
 
     # 2. The model registry: resume a persisted serving chain when possible.

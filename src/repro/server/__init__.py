@@ -16,11 +16,23 @@ on top of the in-process stack it fronts:
   ``/v1/plan`` traffic into a bounded ring buffer, shadow-scores the freshly
   promoted version against its predecessor off the request path, and rolls
   the promotion back automatically when the regression bound breaks on real
-  requests.
+  requests;
+- :mod:`repro.server.sharding` — :class:`~repro.server.sharding.ShardedGateway`
+  pre-forks N gateway workers over one shared listening port (``SO_REUSEPORT``
+  with an inherited-fd fallback) under a health-checking, respawning
+  supervisor, with :class:`~repro.server.sharding.PlanCacheServer` /
+  :class:`~repro.server.sharding.SharedCacheClient` providing the
+  cross-process plan-cache tier.
 """
 
 from repro.server.app import DEFAULT_PLANNER, PlanningServer
 from repro.server.shadow_traffic import ShadowTrafficStats, TrafficShadower
+from repro.server.sharding import (
+    PlanCacheServer,
+    ShardedGateway,
+    SharedCacheClient,
+    WorkerSpec,
+)
 from repro.server.wire import (
     WireFormatError,
     plan_from_json_dict,
@@ -40,10 +52,14 @@ from repro.server.wire import (
 
 __all__ = [
     "DEFAULT_PLANNER",
+    "PlanCacheServer",
     "PlanningServer",
+    "ShardedGateway",
     "ShadowTrafficStats",
+    "SharedCacheClient",
     "TrafficShadower",
     "WireFormatError",
+    "WorkerSpec",
     "plan_from_json_dict",
     "plan_request_from_json_dict",
     "plan_request_to_json_dict",

@@ -93,6 +93,10 @@ class PlanningServer:
             the service at construction (no-op without a registry or a
             promoted version).
         verbose: Log one line per HTTP request to stderr.
+        worker_id: Shard slot when this gateway runs as one worker of a
+            :class:`~repro.server.sharding.ShardedGateway`; surfaces in
+            ``/healthz`` bodies and as an ``X-Repro-Worker`` response header
+            on every reply.  None (the default) for a standalone gateway.
     """
 
     def __init__(
@@ -109,8 +113,10 @@ class PlanningServer:
         port: int = 0,
         restore_serving: bool = True,
         verbose: bool = False,
+        worker_id: int | None = None,
     ):
         self.service = service
+        self.worker_id = worker_id
         self.registry = registry
         self.lifecycle = lifecycle
         self.shadower = shadower
@@ -171,8 +177,18 @@ class PlanningServer:
     # ------------------------------------------------------------------ #
     # Server lifecycle
     # ------------------------------------------------------------------ #
-    def start(self) -> "PlanningServer":
-        """Bind the listening socket and serve on a background thread."""
+    def start(
+        self, *, reuse_port: bool = False, listen_socket=None
+    ) -> "PlanningServer":
+        """Bind the listening socket and serve on a background thread.
+
+        Args:
+            reuse_port: Bind with ``SO_REUSEPORT`` so sibling worker
+                processes can share the port (sharded-gateway mode).
+            listen_socket: Adopt this already-listening socket instead of
+                binding — the pre-fork inherited-fd fallback on platforms
+                without ``SO_REUSEPORT``.
+        """
         if self._closed:
             raise RuntimeError("planning server is closed")
         if self._httpd is not None:
@@ -181,7 +197,10 @@ class PlanningServer:
             "BoundGatewayHandler", (GatewayRequestHandler,), {"gateway": self}
         )
         self._httpd = GatewayHTTPServer(
-            (self._host, self._requested_port), bound_handler
+            (self._host, self._requested_port),
+            bound_handler,
+            reuse_port=reuse_port,
+            listen_socket=listen_socket,
         )
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -297,6 +316,26 @@ class PlanningServer:
         """504 for a budget-drained empty answer, 200 otherwise."""
         return 504 if (response.deadline_exceeded and not response.plans) else 200
 
+    def _retire_cached_version(self, network) -> None:
+        """Free a displaced model's cached plans (both tiers, best effort).
+
+        Version-keyed entries already stop matching once the swap lands (the
+        store path re-checks the serving version, so in-flight requests
+        pinned to the old network cannot repollute); invalidation just
+        releases the memory — locally and, through
+        :class:`~repro.service.cache.TieredPlanCache`, across every sharded
+        worker at once.
+        """
+        if network is None:
+            return
+        invalidate = getattr(self.service.cache, "invalidate_version", None)
+        if invalidate is None:
+            return
+        try:
+            invalidate(network.version_key())
+        except Exception:  # noqa: BLE001 - bookkeeping must not fail the swap
+            pass
+
     # ------------------------------------------------------------------ #
     # Routes: planning
     # ------------------------------------------------------------------ #
@@ -377,7 +416,15 @@ class PlanningServer:
                 },
             }
         shadow = self.shadower.stats().to_json_dict() if self.shadower else None
-        return 200, {"planners": planners, "gateway": gateway, "shadow": shadow}
+        shared_stats = getattr(self.service.cache, "shared_stats", None)
+        shared_cache = shared_stats() if callable(shared_stats) else None
+        return 200, {
+            "planners": planners,
+            "gateway": gateway,
+            "shadow": shadow,
+            "shared_cache": shared_cache,
+            "worker_id": self.worker_id,
+        }
 
     def handle_models(self) -> tuple[int, dict]:
         """``GET /v1/models``."""
@@ -428,6 +475,7 @@ class PlanningServer:
         previous = self.registry.serving_version
         if previous == version:
             return 200, {"serving_version": version, "previous_serving_version": previous}
+        displaced = self.service.serving_network()
         try:
             network = snapshot.restore(self._resolve_featurizer())
             self.service.swap_network(network)
@@ -449,6 +497,7 @@ class PlanningServer:
             except Exception:  # noqa: BLE001 - best effort; report the cause
                 pass
             return 409, {"error": str(error), "kind": "conflict"}
+        self._retire_cached_version(displaced)
         if self.shadower is not None:
             try:
                 self.shadower.watch(version, previous)
@@ -470,6 +519,7 @@ class PlanningServer:
         if self.registry is None:
             return 503, {"error": "gateway has no model registry", "kind": "unavailable"}
         rolled_from = self.registry.serving_version
+        displaced = self.service.serving_network()
         try:
             if self.lifecycle is not None:
                 snapshot = self.lifecycle.rollback()
@@ -487,6 +537,7 @@ class PlanningServer:
             return 409, {"error": str(error), "kind": "conflict"}
         except RuntimeError as error:
             return 503, {"error": str(error), "kind": "unavailable"}
+        self._retire_cached_version(displaced)
         if self.shadower is not None:
             # Idempotent: the lifecycle path may already have disarmed its
             # attached monitor, but this gateway's shadower must never stay
@@ -504,6 +555,7 @@ class PlanningServer:
             planners += sorted(self.planner_registry.available())
         return 200, {
             "status": "ok",
+            "worker_id": self.worker_id,
             "pending_requests": self.service.pending_requests,
             "serving_version": (
                 self.registry.serving_version if self.registry is not None else None

@@ -20,6 +20,7 @@ Error contract (JSON bodies everywhere, ``{"error": ..., "kind": ...}``):
 from __future__ import annotations
 
 import json
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Callable
 
@@ -37,10 +38,48 @@ RouteResult = "tuple[int, dict]"
 
 
 class GatewayHTTPServer(ThreadingHTTPServer):
-    """One thread per request; the planner service below does its own pooling."""
+    """One thread per request; the planner service below does its own pooling.
+
+    Two socket strategies beyond the default bind support the sharded
+    gateway's pre-fork model (see :mod:`repro.server.sharding`):
+
+    - ``reuse_port=True`` sets ``SO_REUSEPORT`` before binding, so several
+      worker processes can each bind the same port and let the kernel
+      load-balance incoming connections among them;
+    - ``listen_socket=...`` adopts an already-bound, already-listening
+      socket (inherited across ``fork`` from a supervisor) instead of
+      binding at all — the fallback on platforms without ``SO_REUSEPORT``.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
+
+    def __init__(
+        self,
+        server_address,
+        RequestHandlerClass,  # noqa: N803 - http.server naming
+        *,
+        reuse_port: bool = False,
+        listen_socket: socket.socket | None = None,
+    ):
+        self._reuse_port = reuse_port
+        if listen_socket is None:
+            super().__init__(server_address, RequestHandlerClass)
+            return
+        super().__init__(server_address, RequestHandlerClass, bind_and_activate=False)
+        self.socket.close()  # replace the unbound default socket
+        self.socket = listen_socket
+        self.server_address = listen_socket.getsockname()
+        host, port = self.server_address[:2]
+        self.server_name = socket.getfqdn(host)
+        self.server_port = port
+
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not supported on this platform")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
 
 class GatewayRequestHandler(BaseHTTPRequestHandler):
@@ -51,6 +90,9 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-gateway/1.0"
     protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate small writes; without TCP_NODELAY
+    # a keep-alive client stalls ~40ms per exchange on Nagle + delayed ACK.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -172,6 +214,9 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(encoded)))
+            worker_id = getattr(self.gateway, "worker_id", None)
+            if worker_id is not None:
+                self.send_header("X-Repro-Worker", str(worker_id))
             if close:
                 # An unconsumed request body would be parsed as the next
                 # request line on this connection; tell the client and stop

@@ -1,0 +1,266 @@
+"""Tests for the CI perf-regression gate (``benchmarks/check_regression.py``).
+
+The gate must pass healthy results, demonstrably fail on an injected
+regression with a clear message, respect absolute bounds, tolerance bands,
+CPU gating and optional metrics — and the committed baseline files under
+``benchmarks/baselines/`` must stay structurally valid.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BASELINES_DIR = BENCHMARKS_DIR / "baselines"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", BENCHMARKS_DIR / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def results_with(extra_info: dict, name: str = "bench_demo") -> dict:
+    return {"benchmarks": [{"name": name, "fullname": f"x.py::{name}", "extra_info": extra_info}]}
+
+
+def baseline_with(checks: list[dict], benchmark: str | None = None) -> dict:
+    body = {"description": "test baseline", "checks": checks}
+    if benchmark is not None:
+        body["benchmark"] = benchmark
+    return body
+
+
+class TestEvaluate:
+    def test_healthy_results_pass(self, gate):
+        baseline = baseline_with(
+            [
+                {"metric": "failed_requests", "max": 0},
+                {"metric": "qps", "baseline": 100.0, "direction": "higher", "tolerance": 0.3},
+                {"metric": "p99_ms", "baseline": 10.0, "direction": "lower", "tolerance": 0.5},
+            ]
+        )
+        results = results_with({"failed_requests": 0, "qps": 95.0, "p99_ms": 12.0})
+        assert gate.evaluate(baseline, results) == []
+
+    def test_injected_qps_regression_fails_with_clear_message(self, gate):
+        baseline = baseline_with(
+            [{"metric": "qps", "baseline": 100.0, "direction": "higher", "tolerance": 0.25}]
+        )
+        results = results_with({"qps": 60.0})  # -40%, outside the -25% band
+        violations = gate.evaluate(baseline, results)
+        assert len(violations) == 1
+        assert "qps" in violations[0]
+        assert "regressed" in violations[0]
+        assert "baseline 100" in violations[0]
+
+    def test_injected_latency_regression_fails(self, gate):
+        baseline = baseline_with(
+            [{"metric": "p99_ms", "baseline": 10.0, "direction": "lower", "tolerance": 0.2}]
+        )
+        violations = gate.evaluate(baseline, results_with({"p99_ms": 20.0}))
+        assert len(violations) == 1
+        assert "p99_ms" in violations[0]
+
+    def test_absolute_bounds(self, gate):
+        baseline = baseline_with(
+            [
+                {"metric": "failed_requests", "max": 0},
+                {"metric": "hit_rate", "min": 0.9},
+            ]
+        )
+        violations = gate.evaluate(
+            baseline, results_with({"failed_requests": 3, "hit_rate": 0.4})
+        )
+        assert len(violations) == 2
+        assert any("exceeds the allowed maximum" in v for v in violations)
+        assert any("below the required minimum" in v for v in violations)
+
+    def test_missing_required_metric_is_a_violation(self, gate):
+        baseline = baseline_with([{"metric": "qps", "min": 1.0}])
+        violations = gate.evaluate(baseline, results_with({"other": 1}))
+        assert len(violations) == 1
+        assert "missing" in violations[0]
+
+    def test_missing_optional_metric_is_skipped(self, gate):
+        baseline = baseline_with([{"metric": "qps", "min": 1.0, "required": False}])
+        assert gate.evaluate(baseline, results_with({"other": 1})) == []
+
+    def test_cpu_gated_check_skipped_on_small_runners(self, gate):
+        baseline = baseline_with(
+            [{"metric": "scaling", "min": 1.6, "when_cpus_at_least": 4}]
+        )
+        failing = results_with({"scaling": 1.0})
+        assert gate.evaluate(baseline, failing, cpus=1) == []
+        assert len(gate.evaluate(baseline, failing, cpus=4)) == 1
+
+    def test_cpu_count_read_from_results_extra_info(self, gate):
+        baseline = baseline_with(
+            [{"metric": "scaling", "min": 1.6, "when_cpus_at_least": 4}]
+        )
+        # available_cpus in the artifact wins over the gate machine's count.
+        skipped = results_with({"scaling": 1.0, "available_cpus": 1})
+        assert gate.evaluate(baseline, skipped) == []
+        enforced = results_with({"scaling": 1.0, "available_cpus": 8})
+        assert len(gate.evaluate(baseline, enforced)) == 1
+
+    def test_benchmark_filter_selects_the_right_entry(self, gate):
+        baseline = baseline_with(
+            [{"metric": "qps", "min": 50.0}], benchmark="bench_target"
+        )
+        results = {
+            "benchmarks": [
+                {"name": "bench_other", "extra_info": {"qps": 1.0}},
+                {"name": "bench_target", "extra_info": {"qps": 80.0}},
+            ]
+        }
+        assert gate.evaluate(baseline, results) == []
+
+    def test_filter_ignores_the_module_path_part_of_fullname(self, gate):
+        # bench_http_gateway.py also hosts the sweep benchmark; its healthy
+        # metrics must not mask a regression in the filtered benchmark.
+        baseline = baseline_with(
+            [{"metric": "failed_requests", "max": 0}], benchmark="bench_target"
+        )
+        results = {
+            "benchmarks": [
+                {
+                    "name": "bench_target",
+                    "fullname": "bench_target.py::bench_target",
+                    "extra_info": {"failed_requests": 3},
+                },
+                {
+                    "name": "bench_other",
+                    "fullname": "bench_target.py::bench_other",
+                    "extra_info": {"failed_requests": 0},
+                },
+            ]
+        }
+        violations = gate.evaluate(baseline, results)
+        assert len(violations) == 1
+        assert "failed_requests" in violations[0]
+
+    def test_unknown_direction_and_non_numeric_value(self, gate):
+        baseline = baseline_with(
+            [
+                {"metric": "qps", "baseline": 1.0, "direction": "sideways"},
+                {"metric": "label", "min": 0},
+            ]
+        )
+        violations = gate.evaluate(
+            baseline, results_with({"qps": 1.0, "label": "fast"})
+        )
+        assert len(violations) == 2
+        assert any("unknown direction" in v for v in violations)
+        assert any("not numeric" in v for v in violations)
+
+    def test_baseline_without_checks_is_rejected(self, gate):
+        assert gate.evaluate({"description": "empty"}, results_with({}))
+
+
+class TestCli:
+    def write(self, tmp_path, name, body) -> str:
+        path = tmp_path / name
+        path.write_text(json.dumps(body))
+        return str(path)
+
+    def test_exit_zero_on_pass_and_one_on_regression(self, gate, tmp_path, capsys):
+        baseline = self.write(
+            tmp_path, "base.json",
+            baseline_with([{"metric": "qps", "baseline": 100.0, "direction": "higher"}]),
+        )
+        healthy = self.write(tmp_path, "good.json", results_with({"qps": 90.0}))
+        regressed = self.write(tmp_path, "bad.json", results_with({"qps": 10.0}))
+
+        assert gate.main(["--baseline", baseline, "--results", healthy]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert gate.main(["--baseline", baseline, "--results", regressed]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "qps" in out
+
+    def test_multiple_pairs_and_unreadable_files(self, gate, tmp_path, capsys):
+        baseline = self.write(
+            tmp_path, "base.json", baseline_with([{"metric": "ok", "min": 0}])
+        )
+        healthy = self.write(tmp_path, "good.json", results_with({"ok": 1}))
+        code = gate.main(
+            [
+                "--baseline", baseline, "--results", healthy,
+                "--baseline", baseline, "--results", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "unreadable" in out
+
+    def test_mismatched_pair_counts_are_an_error(self, gate, tmp_path):
+        baseline = self.write(
+            tmp_path, "base.json", baseline_with([{"metric": "ok", "min": 0}])
+        )
+        with pytest.raises(SystemExit):
+            gate.main(["--baseline", baseline])
+
+
+class TestCommittedBaselines:
+    def test_baseline_files_exist_and_are_structurally_valid(self, gate):
+        paths = sorted(BASELINES_DIR.glob("*.json"))
+        assert paths, "no committed baseline files"
+        names = {path.stem for path in paths}
+        assert {"gateway", "sharded", "scoring", "lifecycle"} <= names
+        for path in paths:
+            body = json.loads(path.read_text())
+            assert body.get("description"), path
+            checks = body.get("checks")
+            assert checks, path
+            for check in checks:
+                assert check.get("metric"), (path, check)
+                assert any(
+                    bound in check for bound in ("max", "min", "baseline")
+                ), (path, check)
+                if "baseline" in check:
+                    assert check.get("direction") in ("higher", "lower"), (path, check)
+
+    def test_gateway_baseline_passes_current_bench_shape(self, gate):
+        """The committed gateway baseline accepts a healthy artifact."""
+        baseline = json.loads((BASELINES_DIR / "gateway.json").read_text())
+        results = results_with(
+            {
+                "failed_requests": 0,
+                "service_cache_hit_rate": 0.93,
+                "http_qps": 1000.0,
+                "http_warm_p50_ms": 1.1,
+                "http_overhead_p50_ms": 1.0,
+            },
+            name="bench_http_gateway",
+        )
+        assert gate.evaluate(baseline, results) == []
+
+    def test_sharded_baseline_fails_on_injected_scaling_regression(self, gate):
+        baseline = json.loads((BASELINES_DIR / "sharded.json").read_text())
+        healthy = {
+            "failed_requests": 0,
+            "failed_w1": 0, "failed_w2": 0, "failed_w4": 0,
+            "shared_cache_hit_rate": 1.0,
+            "qps_w1": 900.0,
+            "qps_scaling_4w_vs_1w": 3.2,
+            "available_cpus": 8,
+        }
+        assert gate.evaluate(
+            baseline, results_with(healthy, name="bench_sharded_gateway_sweep")
+        ) == []
+        regressed = dict(healthy, qps_scaling_4w_vs_1w=1.1)
+        violations = gate.evaluate(
+            baseline, results_with(regressed, name="bench_sharded_gateway_sweep")
+        )
+        assert len(violations) == 1
+        assert "qps_scaling_4w_vs_1w" in violations[0]

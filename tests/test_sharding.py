@@ -1,0 +1,580 @@
+"""Tests for the sharded gateway and its cross-process plan-cache tier.
+
+Covers the cache-server protocol (framing, LRU, tag invalidation), client
+degradation when the tier dies, the tiered L1/L2 cache, cross-worker cache
+hits, version-keyed invalidation on promote/rollback, and the pre-forked
+:class:`~repro.server.sharding.ShardedGateway` (both socket strategies,
+supervisor respawn of a killed worker).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.lifecycle import ModelRegistry
+from repro.model.value_network import ValueNetwork, ValueNetworkConfig
+from repro.optimizer.quickpick import random_plan
+from repro.planning.envelope import PlanRequest, PlanResult
+from repro.search.beam import BeamSearchPlanner
+from repro.server import PlanningServer
+from repro.server.sharding import (
+    MAX_FRAME_BYTES,
+    PlanCacheServer,
+    ShardedGateway,
+    SharedCacheClient,
+    WorkerSpec,
+)
+from repro.service.cache import ServicePlanCache, TieredPlanCache, encode_cache_key
+from repro.service.service import PlannerService
+from repro.utils.rng import derive_seed, new_rng
+from repro.workloads.benchmark import make_job_benchmark
+
+HAS_REUSE_PORT = hasattr(socket, "SO_REUSEPORT")
+
+
+def small_planner() -> BeamSearchPlanner:
+    return BeamSearchPlanner(beam_size=2, top_k=2, enumerate_scan_operators=False)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return make_job_benchmark(
+        fact_rows=200, num_queries=6, num_templates=3, test_size=2,
+        seed=1, size_range=(3, 4),
+    )
+
+
+@pytest.fixture(scope="module")
+def network(bench) -> ValueNetwork:
+    """Untrained but servable: ranking quality is irrelevant to sharding."""
+    return ValueNetwork(
+        bench.featurizer,
+        ValueNetworkConfig(
+            query_hidden=16, query_embedding=8, tree_channels=(16, 8),
+            head_hidden=8, seed=1,
+        ),
+    )
+
+
+@pytest.fixture()
+def cache_server(tmp_path):
+    server = PlanCacheServer(str(tmp_path / "cache.sock"), capacity=64).start()
+    yield server
+    server.close()
+
+
+def make_result(bench, query, seed: int = 0) -> PlanResult:
+    plans = [random_plan(query, new_rng(derive_seed(seed, query.name, i))) for i in range(2)]
+    return PlanResult(
+        plans=plans,
+        predicted_latencies=[1.0, 2.0],
+        planning_seconds=0.01,
+        planner_name="beam",
+    )
+
+
+def http(method: str, url: str, payload=None, timeout: float = 30.0):
+    """One JSON HTTP exchange on a fresh connection; (status, body, headers)."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, method=method, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return (
+                response.status,
+                json.loads(response.read().decode("utf-8")),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8")), dict(error.headers)
+
+
+# ---------------------------------------------------------------------- #
+# Cache server protocol
+# ---------------------------------------------------------------------- #
+class TestCacheProtocol:
+    def test_put_get_exists_round_trip(self, cache_server):
+        client = SharedCacheClient(cache_server.address)
+        assert client.ping()
+        assert client.get(b"k1") is None
+        assert not client.exists(b"k1")
+        assert client.put(b"k1", b"v1-tag", b"payload-bytes")
+        assert client.get(b"k1") == b"payload-bytes"
+        assert client.exists(b"k1")
+        stats = cache_server.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["inserts"] == 1
+        assert stats["size"] == 1
+        client.close()
+
+    def test_two_clients_share_entries(self, cache_server):
+        writer = SharedCacheClient(cache_server.address)
+        reader = SharedCacheClient(cache_server.address)
+        assert writer.put(b"shared", b"tag", b"value")
+        assert reader.get(b"shared") == b"value"
+        writer.close()
+        reader.close()
+
+    def test_lru_eviction_tracks_tag_index(self, tmp_path):
+        with PlanCacheServer(str(tmp_path / "lru.sock"), capacity=2) as server:
+            client = SharedCacheClient(server.address)
+            client.put(b"a", b"t1", b"1")
+            client.put(b"b", b"t1", b"2")
+            client.get(b"a")  # refresh recency: b is now LRU
+            client.put(b"c", b"t2", b"3")
+            assert client.exists(b"a")
+            assert not client.exists(b"b")
+            assert client.exists(b"c")
+            stats = server.stats()
+            assert stats["evictions"] == 1
+            # The evicted key must leave the tag index too.
+            assert client.invalidate(b"t1") == 1
+            client.close()
+
+    def test_invalidate_by_tag(self, cache_server):
+        client = SharedCacheClient(cache_server.address)
+        client.put(b"k1", b"v1", b"x")
+        client.put(b"k2", b"v1", b"y")
+        client.put(b"k3", b"v2", b"z")
+        assert client.invalidate(b"v1") == 2
+        assert not client.exists(b"k1")
+        assert not client.exists(b"k2")
+        assert client.exists(b"k3")
+        assert client.invalidate(b"v1") == 0
+        assert cache_server.stats()["invalidated"] == 2
+        client.close()
+
+    def test_retagging_a_key_moves_it_between_tags(self, cache_server):
+        client = SharedCacheClient(cache_server.address)
+        client.put(b"k", b"old", b"1")
+        client.put(b"k", b"new", b"2")
+        assert client.invalidate(b"old") == 0
+        assert client.get(b"k") == b"2"
+        assert client.invalidate(b"new") == 1
+        client.close()
+
+    def test_clear_and_server_stats(self, cache_server):
+        client = SharedCacheClient(cache_server.address)
+        client.put(b"k", b"t", b"v")
+        assert client.clear()
+        assert client.get(b"k") is None
+        remote = client.server_stats()
+        assert remote is not None
+        assert remote["size"] == 0
+        assert remote["inserts"] == 1
+        client.close()
+
+    def test_oversize_put_is_refused_client_side(self, cache_server):
+        client = SharedCacheClient(cache_server.address)
+        assert not client.put(b"big", b"t", b"\x00" * MAX_FRAME_BYTES)
+        assert client.ping()  # connection not poisoned
+        client.close()
+
+    def test_empty_value_round_trip(self, cache_server):
+        client = SharedCacheClient(cache_server.address)
+        assert client.put(b"empty", b"t", b"")
+        assert client.get(b"empty") == b""
+        client.close()
+
+    def test_client_degrades_when_server_is_down(self, tmp_path):
+        server = PlanCacheServer(str(tmp_path / "dead.sock"), capacity=8).start()
+        client = SharedCacheClient(server.address, retry_seconds=30.0)
+        assert client.put(b"k", b"t", b"v")
+        server.close()
+        # Every op is a miss / no-op, never an exception.
+        assert client.get(b"k") is None
+        assert not client.put(b"k2", b"t", b"v")
+        assert not client.exists(b"k")
+        assert client.invalidate(b"t") == 0
+        assert not client.ping()
+        assert not client.available
+        stats = client.stats()
+        assert stats["errors"] >= 1
+        assert stats["skipped_while_down"] >= 1
+        client.close()
+
+    def test_client_reconnects_after_retry_window(self, tmp_path):
+        path = str(tmp_path / "flap.sock")
+        server = PlanCacheServer(path, capacity=8).start()
+        client = SharedCacheClient(server.address, retry_seconds=0.05)
+        assert client.ping()
+        server.close()
+        assert not client.ping()  # marks the tier down
+        revived = PlanCacheServer(path, capacity=8).start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while not client.ping():
+                assert time.monotonic() < deadline, "client never reconnected"
+                time.sleep(0.02)
+        finally:
+            client.close()
+            revived.close()
+
+
+# ---------------------------------------------------------------------- #
+# Tiered cache over the real server
+# ---------------------------------------------------------------------- #
+class TestTieredPlanCache:
+    def key(self, query, version=("net", 1), k=2):
+        return (query.fingerprint(), version, k, None)
+
+    def test_cross_cache_hit_promotes_into_local(self, bench, cache_server):
+        query = bench.train_queries[0]
+        tier_a = TieredPlanCache(
+            ServicePlanCache(8), SharedCacheClient(cache_server.address)
+        )
+        tier_b = TieredPlanCache(
+            ServicePlanCache(8), SharedCacheClient(cache_server.address)
+        )
+        result = make_result(bench, query)
+        key = self.key(query)
+        tier_a.store(key, result)
+        assert tier_a.shared_stats()["shared_stores"] == 1
+
+        found = tier_b.lookup(key)
+        assert found is not None
+        assert [p.fingerprint() for p in found.plans] == [
+            p.fingerprint() for p in result.plans
+        ]
+        assert found.predicted_latencies == result.predicted_latencies
+        assert tier_b.shared_stats()["shared_hits"] == 1
+        # Promoted into B's local LRU: the next lookup never leaves process.
+        assert tier_b.local.contains(key)
+        assert tier_b.contains(key)
+
+    def test_invalidate_version_drops_both_tiers(self, bench, cache_server):
+        tier = TieredPlanCache(
+            ServicePlanCache(8), SharedCacheClient(cache_server.address)
+        )
+        old, new = ("net", 1), ("net", 2)
+        q0, q1 = bench.train_queries[0], bench.train_queries[1]
+        tier.store(self.key(q0, old), make_result(bench, q0))
+        tier.store(self.key(q1, new), make_result(bench, q1))
+        assert tier.invalidate_version(old) >= 2  # L1 + shared tier
+        assert not tier.contains(self.key(q0, old))
+        assert tier.contains(self.key(q1, new))
+        assert cache_server.stats()["size"] == 1
+
+    def test_degrades_to_local_when_server_dies(self, bench, tmp_path):
+        server = PlanCacheServer(str(tmp_path / "t.sock"), capacity=8).start()
+        tier = TieredPlanCache(ServicePlanCache(8), SharedCacheClient(server.address))
+        query = bench.train_queries[0]
+        key = self.key(query)
+        tier.store(key, make_result(bench, query))
+        server.close()
+        # The local LRU keeps answering; the dead tier is a silent miss.
+        assert tier.lookup(key) is not None
+        other = self.key(bench.train_queries[1])
+        assert tier.lookup(other) is None
+        tier.store(other, make_result(bench, bench.train_queries[1]))  # no raise
+        assert tier.local.contains(other)
+        assert not tier.shared_stats()["transport"]["available"]
+
+    def test_corrupt_shared_entry_is_a_miss(self, bench, cache_server):
+        query = bench.train_queries[0]
+        key = self.key(query)
+        poison = SharedCacheClient(cache_server.address)
+        poison.put(encode_cache_key(key), b"tag", b"not json at all")
+        tier = TieredPlanCache(
+            ServicePlanCache(8), SharedCacheClient(cache_server.address)
+        )
+        assert tier.lookup(key) is None
+        stats = tier.shared_stats()
+        assert stats["decode_failures"] == 1
+        assert stats["shared_misses"] == 1
+        poison.close()
+
+    def test_clear_empties_both_tiers(self, bench, cache_server):
+        tier = TieredPlanCache(
+            ServicePlanCache(8), SharedCacheClient(cache_server.address)
+        )
+        query = bench.train_queries[0]
+        tier.store(self.key(query), make_result(bench, query))
+        tier.clear()
+        assert len(tier) == 0
+        assert cache_server.stats()["size"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# Cross-service semantics (two services sharing one tier, no forking)
+# ---------------------------------------------------------------------- #
+class TestCrossServiceSharing:
+    def test_plan_computed_by_one_service_hits_on_the_other(
+        self, bench, network, cache_server
+    ):
+        # Both services serve the *same* network object — exactly the
+        # pre-fork situation, where workers inherit one network and their
+        # cache keys (which embed the network's version key) agree.
+        service_a = PlannerService(
+            network, planner=small_planner(), max_workers=1, cache_capacity=32
+        )
+        service_b = PlannerService(
+            network, planner=small_planner(), max_workers=1, cache_capacity=32
+        )
+        service_a.cache = TieredPlanCache(
+            service_a.cache, SharedCacheClient(cache_server.address)
+        )
+        service_b.cache = TieredPlanCache(
+            service_b.cache, SharedCacheClient(cache_server.address)
+        )
+        try:
+            request = PlanRequest(query=bench.train_queries[0], k=2)
+            first = service_a.plan(request)
+            assert not first.cache_hit
+            second = service_b.plan(PlanRequest(query=bench.train_queries[0], k=2))
+            assert second.cache_hit
+            assert [p.fingerprint() for p in second.plans] == [
+                p.fingerprint() for p in first.plans
+            ]
+            assert service_b.cache.shared_stats()["shared_hits"] == 1
+        finally:
+            service_a.close()
+            service_b.close()
+
+    def test_foreground_requests_survive_cache_server_crash(
+        self, bench, network, tmp_path
+    ):
+        server = PlanCacheServer(str(tmp_path / "crash.sock"), capacity=32).start()
+        service = PlannerService(
+            network, planner=small_planner(), max_workers=1, cache_capacity=32
+        )
+        service.cache = TieredPlanCache(
+            service.cache, SharedCacheClient(server.address, retry_seconds=0.1)
+        )
+        try:
+            ok = service.plan(PlanRequest(query=bench.train_queries[0], k=2))
+            assert ok.plans
+            server.close()  # the tier crashes out from under the worker
+            for query in bench.train_queries[:3]:
+                response = service.plan(PlanRequest(query=query, k=2))
+                assert response.plans  # degraded to local-LRU, never failed
+            # The local L1 still caches.
+            again = service.plan(PlanRequest(query=bench.train_queries[1], k=2))
+            assert again.cache_hit
+        finally:
+            service.close()
+            server.close()
+
+
+# ---------------------------------------------------------------------- #
+# Version-keyed invalidation through the ops endpoints
+# ---------------------------------------------------------------------- #
+class TestPromoteRollbackInvalidation:
+    @pytest.fixture()
+    def ops_stack(self, bench, network, cache_server, tmp_path):
+        service = PlannerService(
+            network, planner=small_planner(), max_workers=1, cache_capacity=32
+        )
+        service.cache = TieredPlanCache(
+            service.cache, SharedCacheClient(cache_server.address)
+        )
+        registry = ModelRegistry(retention=4, persist_dir=tmp_path / "registry")
+        v1 = registry.register(network, source="baseline")
+        registry.promote(v1.version)
+        successor = network.clone()
+        successor.bump_version()
+        v2 = registry.register(successor, source="fine-tune")
+        gateway = PlanningServer(
+            service, registry=registry, featurizer=bench.featurizer
+        )
+        yield {
+            "service": service,
+            "gateway": gateway,
+            "v1": v1.version,
+            "v2": v2.version,
+        }
+        gateway.close()
+        service.close()
+
+    def test_promote_invalidates_displaced_version_in_both_tiers(
+        self, bench, cache_server, ops_stack
+    ):
+        service, gateway = ops_stack["service"], ops_stack["gateway"]
+        for query in bench.train_queries[:2]:
+            assert service.plan(PlanRequest(query=query, k=2)).plans
+        assert cache_server.stats()["size"] == 2
+        assert len(service.cache) == 2
+
+        status, body = gateway.handle_promote({"version": ops_stack["v2"]})
+        assert status == 200
+        assert body["serving_version"] == ops_stack["v2"]
+        # The displaced version's plans are gone from the shared tier (so no
+        # sibling worker can resurrect them) and from the local L1.
+        assert cache_server.stats()["size"] == 0
+        assert len(service.cache) == 0
+
+    def test_rollback_invalidates_the_rolled_back_version(
+        self, bench, cache_server, ops_stack
+    ):
+        service, gateway = ops_stack["service"], ops_stack["gateway"]
+        status, _ = gateway.handle_promote({"version": ops_stack["v2"]})
+        assert status == 200
+        for query in bench.train_queries[:2]:
+            assert service.plan(PlanRequest(query=query, k=2)).plans
+        assert cache_server.stats()["size"] == 2
+
+        status, body = gateway.handle_rollback()
+        assert status == 200
+        assert body["serving_version"] == ops_stack["v1"]
+        assert cache_server.stats()["size"] == 0
+        assert len(service.cache) == 0
+
+
+# ---------------------------------------------------------------------- #
+# The pre-forked gateway (end to end)
+# ---------------------------------------------------------------------- #
+def make_worker_factory(bench, network):
+    def factory(spec: WorkerSpec) -> PlanningServer:
+        service = PlannerService(
+            network, planner=small_planner(), max_workers=2, cache_capacity=256
+        )
+        return PlanningServer(
+            service,
+            queries=bench.all_queries(),
+            host=spec.host,
+            port=spec.port,
+        )
+
+    return factory
+
+
+SOCKET_MODES = [
+    pytest.param(
+        True,
+        id="reuse-port",
+        marks=pytest.mark.skipif(
+            not HAS_REUSE_PORT, reason="platform lacks SO_REUSEPORT"
+        ),
+    ),
+    pytest.param(False, id="inherited-fd"),
+]
+
+
+class TestShardedGateway:
+    @pytest.mark.parametrize("reuse_port", SOCKET_MODES)
+    def test_two_workers_share_port_cache_and_survive_a_kill(
+        self, bench, network, reuse_port
+    ):
+        shard = ShardedGateway(
+            make_worker_factory(bench, network),
+            num_workers=2,
+            reuse_port=reuse_port,
+            max_respawns=1,
+            health_interval_seconds=0.1,
+            drain_grace_seconds=0.05,
+        )
+        with shard:
+            assert shard.alive_workers() == 2
+            base = shard.base_url
+
+            # Both workers answer on the one shared port (fresh connection
+            # per probe so the kernel is free to pick either worker).
+            seen: set[int] = set()
+            deadline = time.monotonic() + 30.0
+            while seen != {0, 1}:
+                assert time.monotonic() < deadline, f"only saw workers {seen}"
+                status, body, headers = http("GET", f"{base}/healthz", timeout=5.0)
+                assert status == 200
+                assert body["status"] == "ok"
+                worker_id = body["worker_id"]
+                assert worker_id in (0, 1)
+                assert headers.get("X-Repro-Worker") == str(worker_id)
+                seen.add(worker_id)
+
+            # A plan computed by one worker becomes a shared-tier hit when
+            # the other worker sees the same query.
+            payload = {"query": bench.train_queries[0].name, "k": 2}
+            plan_workers: set[int] = set()
+            fingerprints: set[tuple] = set()
+            deadline = time.monotonic() + 30.0
+            while plan_workers != {0, 1}:
+                assert time.monotonic() < deadline, (
+                    f"plan answered only by workers {plan_workers}"
+                )
+                status, body, headers = http(
+                    "POST", f"{base}/v1/plan", payload, timeout=10.0
+                )
+                assert status == 200
+                assert body["plans"]
+                plan_workers.add(int(headers["X-Repro-Worker"]))
+                fingerprints.add(
+                    tuple(sorted(str(plan) for plan in body["plans"]))
+                )
+            assert len(fingerprints) == 1  # both workers serve the same plans
+            tier = shard.shared_cache_stats()
+            assert tier is not None
+            assert tier["inserts"] >= 1
+            assert tier["hits"] >= 1
+
+            # Kill a worker outright: the supervisor respawns it on the same
+            # slot and the shard keeps answering throughout.
+            victim = shard.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while shard.worker_pids()[0] == victim or shard.alive_workers() < 2:
+                assert time.monotonic() < deadline, "worker was never respawned"
+                time.sleep(0.05)
+            status, body, _ = http("GET", f"{base}/healthz", timeout=5.0)
+            assert status == 200
+            stats = shard.stats()
+            assert stats["respawns_used"] == 1
+            assert stats["alive_workers"] == 2
+            assert stats["reuse_port"] is reuse_port
+
+        assert shard.alive_workers() == 0  # close() drained every worker
+
+    def test_respawn_budget_is_enforced(self, bench, network):
+        shard = ShardedGateway(
+            make_worker_factory(bench, network),
+            num_workers=1,
+            max_respawns=0,
+            health_interval_seconds=0.1,
+            drain_grace_seconds=0.05,
+        )
+        with shard:
+            os.kill(shard.worker_pids()[0], signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while shard.alive_workers() > 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            time.sleep(0.3)  # give the supervisor a few polls to (not) respawn
+            assert shard.alive_workers() == 0
+            assert shard.stats()["respawns_used"] == 0
+
+    def test_single_worker_shard_serves_without_shared_cache(self, bench, network):
+        shard = ShardedGateway(
+            make_worker_factory(bench, network),
+            num_workers=1,
+            shared_cache=False,
+            drain_grace_seconds=0.05,
+        )
+        with shard:
+            status, body, _ = http("GET", f"{shard.base_url}/healthz", timeout=5.0)
+            assert status == 200
+            assert body["worker_id"] == 0
+            assert shard.shared_cache_stats() is None
+            payload = {"query": bench.train_queries[0].name, "k": 2}
+            status, body, _ = http(
+                "POST", f"{shard.base_url}/v1/plan", payload, timeout=10.0
+            )
+            assert status == 200
+            assert body["plans"]
+
+    def test_invalid_construction(self, bench, network):
+        factory = make_worker_factory(bench, network)
+        with pytest.raises(ValueError):
+            ShardedGateway(factory, num_workers=0)
+        with pytest.raises(ValueError):
+            ShardedGateway(factory, num_workers=2, max_respawns=-1)
