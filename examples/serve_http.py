@@ -16,13 +16,23 @@ With ``--persist-dir``, a restart resumes the last promoted model::
 
     python examples/serve_http.py --persist-dir /tmp/repro-models --smoke
 
+With ``--learn``, the gateway closes the paper's on-policy loop against its
+own live traffic: every served plan is recorded by an
+:class:`~repro.experience.ExperienceSink`, costed and replayed off the hot
+path, and an :class:`~repro.experience.OnlineTrainerLoop` autonomously runs
+fine-tune → shadow-gate → promote rounds while requests keep flowing (smoke
+mode then drives traffic until at least one round lands and prints
+``GET /v1/experience``)::
+
+    python examples/serve_http.py --smoke --learn
+
 With ``--workers N`` (N > 1) the script boots the pre-fork
 :class:`~repro.server.ShardedGateway` instead: N worker processes share one
-listening port and a cross-process plan-cache tier.  Smoke mode then checks
-that every worker answers and that a plan computed by one worker is a shared
-cache hit for the others.  Model promote/rollback are per-process operations
-and are skipped in sharded smoke mode (cross-worker ops coherence is a
-recorded follow-up)::
+listening port, a cross-process plan-cache tier and an ops-coherence bus.
+Smoke mode then checks that every worker answers, that a plan computed by
+one worker is a shared cache hit for the others, and that a promote (and a
+rollback) posted to whichever worker the kernel picks is broadcast until
+every worker serves the same version::
 
     python examples/serve_http.py --smoke --workers 2
 """
@@ -37,7 +47,13 @@ import urllib.request
 from pathlib import Path
 
 from repro.costmodel.cout import CoutCostModel
-from repro.lifecycle import LifecycleError, ModelRegistry
+from repro.experience import OnlineTrainerLoop
+from repro.lifecycle import (
+    LifecycleError,
+    ModelLifecycle,
+    ModelRegistry,
+    ShadowEvaluator,
+)
 from repro.model.value_network import ValueNetwork, ValueNetworkConfig
 from repro.search.beam import BeamSearchPlanner
 from repro.server import PlanningServer, ShardedGateway, TrafficShadower
@@ -112,6 +128,33 @@ def smoke(base_url: str, query_names: list[str]) -> None:
         )
 
 
+def learning_smoke(base_url: str, query_names: list[str]) -> None:
+    """Drive traffic until the online loop lands a round, then report it."""
+    deadline = time.monotonic() + 60.0
+    body: dict = {}
+    while time.monotonic() < deadline:
+        for name in query_names:
+            http("POST", f"{base_url}/v1/plan", {"query": name, "k": 2})
+        status, body = http("GET", f"{base_url}/v1/experience")
+        assert status == 200, f"/v1/experience returned {status}: {body}"
+        if body["rounds"] >= 1:
+            break
+        time.sleep(0.1)
+    assert body.get("rounds", 0) >= 1, f"no online round landed in time: {body}"
+    sink, buffer = body["sink"], body["buffer"]
+    print(
+        f"GET /v1/experience -> 200: {body['rounds']} rounds, "
+        f"{body['promotions']} promotions, {body['rejections']} rejections, "
+        f"sink recorded {sink['recorded']} (dropped {sink['dropped']}, "
+        f"stalls {sink['stalls']}), buffer {buffer['size']}/{buffer['capacity']} "
+        f"({buffer['duplicates']} dups folded)"
+    )
+    assert sink["stalls"] == 0, "experience sink stalled a foreground request"
+    status, metrics = http("GET", f"{base_url}/v1/metrics")
+    assert status == 200 and metrics["experience"] is not None
+    print("GET /v1/metrics -> 200: experience block present")
+
+
 def http_with_headers(url: str) -> tuple[int, dict, dict]:
     """One GET, also returning the response headers (for X-Repro-Worker)."""
     with urllib.request.urlopen(url, timeout=30) as response:
@@ -122,13 +165,23 @@ def http_with_headers(url: str) -> tuple[int, dict, dict]:
         )
 
 
-def sharded_smoke(gateway: ShardedGateway, query_names: list[str]) -> None:
-    """Check every worker answers and the shared cache tier carries plans.
+def await_workers_serving(
+    gateway: ShardedGateway, version: int, timeout: float = 30.0
+) -> set[int]:
+    """Poll ``/healthz`` until every worker reports ``serving_version``."""
+    expected = set(range(gateway.num_workers))
+    serving: set[int] = set()
+    deadline = time.monotonic() + timeout
+    while serving != expected and time.monotonic() < deadline:
+        _, body, headers = http_with_headers(f"{gateway.base_url}/healthz")
+        worker = headers.get("X-Repro-Worker")
+        if worker is not None and body["serving_version"] == version:
+            serving.add(int(worker))
+    return serving
 
-    Promote/rollback are exercised only in single-process smoke: each worker
-    holds its own registry, so ops calls land on whichever worker the kernel
-    picks (cross-worker ops coherence is a recorded follow-up).
-    """
+
+def sharded_smoke(gateway: ShardedGateway, query_names: list[str]) -> None:
+    """Check workers answer, the cache tier carries plans, and ops cohere."""
     base_url = gateway.base_url
     expected = set(range(gateway.num_workers))
     seen: set[int] = set()
@@ -171,6 +224,29 @@ def sharded_smoke(gateway: ShardedGateway, query_names: list[str]) -> None:
     assert status == 200, f"/v1/models returned {status}"
     print(f"GET /v1/models -> {status}: serving v{body['serving_version']}")
 
+    # Ops coherence: a promote lands on ONE worker (the kernel's pick) and
+    # must reach all of them through the broadcast bus; same for rollback.
+    serving = body["serving_version"]
+    candidates = [v for v in body["versions"] if v != serving]
+    if candidates:
+        target = candidates[-1]
+        status, body = http(
+            "POST", f"{base_url}/v1/models/promote", {"version": target}
+        )
+        assert status == 200, f"promote returned {status}: {body}"
+        agreed = await_workers_serving(gateway, target)
+        assert agreed == set(range(gateway.num_workers)), (
+            f"promote v{target} reached workers {sorted(agreed)} only"
+        )
+        print(f"POST /v1/models/promote v{target} -> 200: all workers serving it")
+        status, body = http("POST", f"{base_url}/v1/models/rollback")
+        assert status == 200, f"rollback returned {status}: {body}"
+        agreed = await_workers_serving(gateway, serving)
+        assert agreed == set(range(gateway.num_workers)), (
+            f"rollback to v{serving} reached workers {sorted(agreed)} only"
+        )
+        print(f"POST /v1/models/rollback -> 200: all workers back on v{serving}")
+
     cache = gateway.shared_cache_stats() or {}
     print(
         f"shared cache tier: {cache.get('inserts', 0)} inserts, "
@@ -185,6 +261,12 @@ def sharded_smoke(gateway: ShardedGateway, query_names: list[str]) -> None:
 def run_sharded(args, benchmark, network, planner, queries) -> None:
     """Boot the pre-fork sharded gateway and (optionally) smoke it."""
 
+    # Built once, pre-fork: every worker registers snapshots of the SAME two
+    # networks, so version numbers (1 = baseline, 2 = candidate) and cache
+    # version tags agree across all registries and broadcast ops apply
+    # identically everywhere.
+    candidate = network.clone()
+
     def worker_factory(spec):
         # Runs in the forked child: the network/benchmark/planner objects are
         # inherited from the parent; the service (thread pool) and registry
@@ -193,6 +275,7 @@ def run_sharded(args, benchmark, network, planner, queries) -> None:
         registry = ModelRegistry()
         baseline = registry.register(network, source="baseline")
         registry.promote(baseline.version)
+        registry.register(candidate, source="candidate")
         return PlanningServer(
             service,
             registry=registry,
@@ -245,6 +328,12 @@ def main() -> None:
         "(single-process mode only)",
     )
     parser.add_argument(
+        "--learn", action="store_true",
+        help="close the on-policy loop: record live traffic into an "
+        "experience sink and autonomously fine-tune/gate/promote from it "
+        "(single-process mode only)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="exercise every endpoint against the booted gateway, then exit",
     )
@@ -252,6 +341,8 @@ def main() -> None:
 
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    if args.learn and args.workers > 1:
+        parser.error("--learn runs the online loop in-process (use --workers 1)")
 
     # 1. The workload and the serving stack.  Built once, before any fork,
     # so sharded workers inherit the SAME network object and their plan-cache
@@ -296,10 +387,11 @@ def main() -> None:
         registry.register(network.clone(), source="candidate")
 
     # 3. Live-traffic shadow scoring with automatic rollback.
+    plan_cost = CoutCostModel(benchmark.estimator).cost
     shadower = TrafficShadower(
         service,
         registry,
-        CoutCostModel(benchmark.estimator).cost,
+        plan_cost,
         sample_fraction=0.25,
         max_regression=2.0,
         max_total_regression=1.25,
@@ -307,10 +399,38 @@ def main() -> None:
         featurizer=benchmark.featurizer,
     )
 
+    # 4. With --learn: the full online loop.  Served plans flow through the
+    # sink into the replay buffer; the trainer loop fine-tunes the serving
+    # network from them, gates candidates on the probe workload, promotes
+    # winners, and every promotion arms the shadower for live rollback.
+    lifecycle = None
+    experience = None
+    if args.learn:
+        gate = ShadowEvaluator(
+            benchmark.train_queries,
+            plan_cost,
+            max_regression=5.0,
+            max_total_regression=1.5,
+            planner=planner,
+        )
+        lifecycle = ModelLifecycle(
+            service, registry, gate, featurizer=benchmark.featurizer
+        )
+        experience = OnlineTrainerLoop(
+            lifecycle,
+            plan_cost,
+            min_new_tuples=12,
+            min_round_interval_seconds=0.2,
+            sample_size=64,
+            max_epochs=4,
+        ).start()
+
     gateway = PlanningServer(
         service,
         registry=registry,
+        lifecycle=lifecycle,
         shadower=shadower,
+        experience=experience,
         planner_registry=None,
         queries=queries,
         featurizer=benchmark.featurizer,
@@ -319,10 +439,16 @@ def main() -> None:
     ).start()
     print(f"gateway listening on {gateway.base_url}")
     print(f"  try: curl -s {gateway.base_url}/healthz")
+    if args.learn:
+        print("  online learning loop running (watch /v1/experience)")
 
     try:
         if args.smoke:
             smoke(gateway.base_url, [query.name for query in queries[:5]])
+            if args.learn:
+                learning_smoke(
+                    gateway.base_url, [query.name for query in queries]
+                )
             print("smoke: every endpoint answered")
         else:
             while True:
@@ -330,6 +456,8 @@ def main() -> None:
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        if experience is not None:
+            experience.close()
         gateway.close()
         shadower.close()
         service.close()

@@ -120,6 +120,9 @@ class BalsaAgent:
         self.model_registry: ModelRegistry | None = None
         self._background_trainer: BackgroundTrainer | None = None
         self._pending_update = None
+        #: Optional live monitor (``watch``/``disarm`` duck type, e.g. a
+        #: TrafficShadower) armed whenever a background fine-tune is promoted.
+        self.live_monitor = None
         if self.config.background_training:
             self.model_registry = ModelRegistry(
                 retention=self.config.lifecycle_retention
@@ -331,6 +334,16 @@ class BalsaAgent:
         )
         self._label_transform_fitted = True
 
+    def attach_live_monitor(self, monitor) -> None:
+        """Arm ``monitor`` whenever a background fine-tune is promoted.
+
+        ``monitor`` needs ``watch(candidate_version, baseline_version)`` and
+        ``disarm()`` — the TrafficShadower surface.  With one attached, every
+        promotion this agent makes through its background trainer is guarded
+        by live traffic the same way gateway promotions are.
+        """
+        self.live_monitor = monitor
+
     def _install_pending_update(self) -> None:
         """Wait for the in-flight fine-tune (if any) and hot-swap it in.
 
@@ -342,8 +355,14 @@ class BalsaAgent:
             return
         report = self._pending_update.result()
         self._pending_update = None
+        displaced = self.model_registry.serving_version
         self.model_registry.promote(report.snapshot.version)
         self.value_network = report.snapshot.restore(self.environment.featurizer)
+        if self.live_monitor is not None:
+            try:
+                self.live_monitor.watch(report.snapshot.version, displaced)
+            except Exception:  # noqa: BLE001 - advisory; promotion already landed
+                pass
 
     def _fit_points(
         self,

@@ -85,6 +85,34 @@ class ExperienceBuffer:
             if best is None or record.latency < best:
                 self._best_subplan_latency[sub_key] = record.latency
 
+    def add_execution(
+        self,
+        query_name: str,
+        plan: PlanNode,
+        latency: float,
+        *,
+        timed_out: bool = False,
+        iteration: int = -1,
+        agent_id: int = 0,
+    ) -> ExecutionRecord:
+        """Record one execution without building the record by hand.
+
+        The convenience entry point the online-experience loop uses to replay
+        gateway observations (simulated-executed cost standing in for
+        latency) through the same augmentation/correction machinery the
+        agent's own iterations use.  Returns the record it added.
+        """
+        record = ExecutionRecord(
+            query_name=query_name,
+            plan=plan,
+            latency=float(latency),
+            timed_out=timed_out,
+            iteration=iteration,
+            agent_id=agent_id,
+        )
+        self.add(record)
+        return record
+
     def extend(self, records: Iterable[ExecutionRecord]) -> None:
         """Add several records."""
         for record in records:

@@ -28,6 +28,13 @@ from repro.baselines.bao import BaoAgent
 from repro.baselines.neo import NeoAgent
 from repro.diversity.merge import merge_agent_experiences, retrain_from_experience
 from repro.evaluation.experiments import ExperimentScale
+from repro.experience import (
+    ExperienceMetrics,
+    ExperienceSink,
+    ExperienceTuple,
+    OnlineTrainerLoop,
+    ReplayBuffer,
+)
 from repro.lifecycle import (
     BackgroundTrainer,
     LifecycleError,
@@ -92,6 +99,9 @@ __all__ = [
     "BaoAgent",
     "BeamPlanner",
     "BeamSearchPlanner",
+    "ExperienceMetrics",
+    "ExperienceSink",
+    "ExperienceTuple",
     "ExperimentScale",
     "InProcessBackend",
     "LifecycleError",
@@ -99,6 +109,7 @@ __all__ = [
     "ModelRegistry",
     "ModelSnapshot",
     "NeoAgent",
+    "OnlineTrainerLoop",
     "Planner",
     "PlannerRegistry",
     "PlannerService",
@@ -109,6 +120,7 @@ __all__ = [
     "ProcessPoolBackend",
     "PromotionDecision",
     "RandomPlanner",
+    "ReplayBuffer",
     "ScoringBackend",
     "ScoringBackendError",
     "ServiceMetrics",

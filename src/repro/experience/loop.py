@@ -1,0 +1,361 @@
+"""The online trainer loop: close Balsa's on-policy loop against live traffic.
+
+:class:`OnlineTrainerLoop` is the consumer side of the experience subsystem
+and the serving analogue of the agent's training iteration (paper §4):
+
+1. **drain** the request-path :class:`~repro.experience.sink.ExperienceSink`
+   on a background thread and compute each observation's simulated-executed
+   cost under the shared yardstick (``plan_cost`` — the same
+   :math:`C_{out}`-style oracle the shadow gate uses), off the hot path;
+2. **replay** the costed tuples into the
+   :class:`~repro.experience.replay.ReplayBuffer` (dedup + reservoir);
+3. on a cadence/threshold policy — at least ``min_new_tuples`` fresh tuples
+   and at least ``min_round_interval_seconds`` since the last round — run a
+   **fine-tune round**: draw a recency-weighted batch, expand it through the
+   agent's :class:`~repro.agent.experience.ExperienceBuffer` (subplan
+   augmentation + best-cost label correction, §4.1), featurize, and push it
+   through :meth:`ModelLifecycle.submit` — which trains on the
+   :class:`~repro.lifecycle.trainer.BackgroundTrainer`, gates the candidate
+   on the shadow probe workload, promotes on pass, warms the cache, and arms
+   the attached live monitor (the
+   :class:`~repro.server.shadow_traffic.TrafficShadower`) for automatic
+   rollback.
+
+The loop is fully autonomous once started: train → shadow → promote →
+rollback-armed, while the gateway keeps serving.  Every round appends the
+windowed mean executed cost of the traffic observed since the previous round
+to :attr:`cost_trend` — the series the online-learning soak asserts trends
+down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Callable
+
+from repro.agent.experience import ExperienceBuffer
+from repro.experience.metrics import ExperienceMetrics
+from repro.experience.replay import ExperienceTuple, ReplayBuffer, with_executed_cost
+from repro.experience.sink import ExperienceSink
+from repro.plans.nodes import PlanNode
+from repro.sql.query import Query
+
+if TYPE_CHECKING:
+    from repro.lifecycle.manager import ModelLifecycle
+    from repro.lifecycle.shadow import PromotionDecision
+
+#: The shared plan yardstick: ``(query, plan) -> cost``.
+PlanCost = Callable[[Query, PlanNode], float]
+
+
+class OnlineTrainerLoop:
+    """Drains live experience into autonomous fine-tune → gate → promote rounds.
+
+    Args:
+        lifecycle: The train/gate/promote pipeline; its attached live monitor
+            is what arms rollback after each promotion this loop lands.
+        plan_cost: Simulated-execution yardstick ``(query, plan) -> cost``,
+            run on the loop thread (never the request path).
+        sink: Request-path sink (one is built when omitted).
+        buffer: Replay buffer (one is built when omitted).
+        featurizer: Featuriser for training examples (defaults to the
+            lifecycle service's serving network's).
+        min_new_tuples: Fresh (costed) tuples required before a round fires.
+        min_round_interval_seconds: Cooldown between rounds.
+        sample_size: Recency-weighted tuples drawn per round.
+        max_epochs: Epoch budget forwarded to the background trainer.
+        refit_first_round: Refit the label transform on the first round (live
+            yardstick costs rarely share the scale the network was born
+            with); later rounds fine-tune incrementally.
+        persist_path: When set, the replay buffer is restored from this JSONL
+            file at construction and re-saved after every round and on close.
+        poll_interval_seconds: Loop-thread wake interval.
+    """
+
+    def __init__(
+        self,
+        lifecycle: "ModelLifecycle",
+        plan_cost: PlanCost,
+        *,
+        sink: ExperienceSink | None = None,
+        buffer: ReplayBuffer | None = None,
+        featurizer=None,
+        min_new_tuples: int = 16,
+        min_round_interval_seconds: float = 0.0,
+        sample_size: int = 128,
+        max_epochs: int | None = None,
+        refit_first_round: bool = True,
+        persist_path=None,
+        poll_interval_seconds: float = 0.05,
+    ):
+        if min_new_tuples < 1:
+            raise ValueError("min_new_tuples must be >= 1")
+        if sample_size < 1:
+            raise ValueError("sample_size must be >= 1")
+        self.lifecycle = lifecycle
+        self.plan_cost = plan_cost
+        self.sink = sink if sink is not None else ExperienceSink()
+        self.buffer = buffer if buffer is not None else ReplayBuffer()
+        self.min_new_tuples = min_new_tuples
+        self.min_round_interval_seconds = min_round_interval_seconds
+        self.sample_size = sample_size
+        self.max_epochs = max_epochs
+        self.persist_path = persist_path
+        self.poll_interval_seconds = poll_interval_seconds
+        self._featurizer = featurizer
+        self._refit_next_round = refit_first_round
+
+        self._lock = threading.Lock()
+        self._round_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+        self._new_since_round = 0
+        self._window_costs: list[float] = []
+        self._last_round_at = 0.0
+        self._rounds = 0
+        self._promotions = 0
+        self._rejections = 0
+        self._failures = 0
+        self._trained_examples = 0
+        self._last_round_seconds = 0.0
+        self._cost_trend: list[float] = []
+
+        if persist_path is not None:
+            import os
+
+            if os.path.exists(persist_path):
+                restored = self.buffer.load(persist_path)
+                # Persisted tuples already carry executed costs: they count
+                # toward the first round's threshold so a restarted gateway
+                # does not wait for a full fresh window before learning.
+                with self._lock:
+                    self._new_since_round += restored
+
+    # ------------------------------------------------------------------ #
+    # Request-path hook (delegates to the sink; never blocks, never raises)
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        query: Query,
+        plan: PlanNode,
+        predicted_cost: float,
+        *,
+        planner_id: str = "",
+        model_version: object = None,
+    ) -> None:
+        """Record one served decision (the gateway's per-request call)."""
+        try:
+            item = ExperienceTuple(
+                query=query,
+                plan=plan,
+                predicted_cost=float(predicted_cost),
+                planner_id=planner_id,
+                model_version="" if model_version is None else str(model_version),
+                created_at=time.time(),
+            )
+        except Exception:  # noqa: BLE001 - the hot path must not fail
+            return
+        self.sink.record(item)
+        if len(self.sink) >= self.min_new_tuples:
+            self._wake.set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "OnlineTrainerLoop":
+        """Start the autonomous consumer thread (idempotent)."""
+        if self._closed:
+            raise RuntimeError("online trainer loop is closed")
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="online-trainer-loop", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        """Whether the consumer thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def close(self) -> None:
+        """Stop the thread, ingest the sink's remainder, persist the buffer."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._ingest()
+        if self.persist_path is not None:
+            try:
+                self.buffer.save(self.persist_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "OnlineTrainerLoop":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The consumer thread
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            self._wake.wait(timeout=self.poll_interval_seconds)
+            self._wake.clear()
+            if self._closed:
+                return
+            self._ingest()
+            if self._round_due():
+                try:
+                    self._round(force=False)
+                except Exception:  # noqa: BLE001 - the loop must survive a round
+                    with self._lock:
+                        self._failures += 1
+
+    def _ingest(self) -> int:
+        """Cost and replay everything queued in the sink; returns the count."""
+        drained = self.sink.drain()
+        ingested = 0
+        for item in drained:
+            try:
+                executed = float(self.plan_cost(item.query, item.plan))
+            except Exception:  # noqa: BLE001 - one bad plan must not stall the loop
+                with self._lock:
+                    self._failures += 1
+                continue
+            self.buffer.add(with_executed_cost(item, executed))
+            with self._lock:
+                self._new_since_round += 1
+                self._window_costs.append(executed)
+            ingested += 1
+        return ingested
+
+    def _round_due(self) -> bool:
+        with self._lock:
+            if self._new_since_round < self.min_new_tuples:
+                return False
+            since = time.monotonic() - self._last_round_at
+            return since >= self.min_round_interval_seconds
+
+    def run_round_now(self) -> "PromotionDecision | None":
+        """Ingest pending experience and run one round immediately.
+
+        Bypasses the cadence/threshold policy (tests and the soak use it to
+        pace rounds deterministically); returns the gate's decision, or None
+        when the buffer holds no experience yet.
+        """
+        self._ingest()
+        return self._round(force=True)
+
+    def _round(self, force: bool) -> "PromotionDecision | None":
+        with self._round_lock:
+            with self._lock:
+                if not force and self._new_since_round < self.min_new_tuples:
+                    return None
+                window = list(self._window_costs)
+                self._window_costs.clear()
+                self._new_since_round = 0
+                self._last_round_at = time.monotonic()
+                refit = self._refit_next_round
+            batch = self.buffer.sample(self.sample_size)
+            batch = [item for item in batch if item.executed_cost is not None]
+            if not batch:
+                return None
+            started = time.perf_counter()
+            points = self._training_points(batch)
+            featurizer = self._resolve_featurizer()
+            examples = [featurizer.featurize(p.query, p.plan) for p in points]
+            labels = [p.label for p in points]
+            with self._lock:
+                round_number = self._rounds + 1
+            decision = self.lifecycle.submit(
+                examples,
+                labels,
+                max_epochs=self.max_epochs,
+                refit_label_transform=refit,
+                source=f"online-round-{round_number}",
+            ).result()
+            with self._lock:
+                self._rounds += 1
+                self._refit_next_round = False
+                self._trained_examples += len(points)
+                self._last_round_seconds = time.perf_counter() - started
+                if window:
+                    self._cost_trend.append(sum(window) / len(window))
+                if decision.promoted:
+                    self._promotions += 1
+                else:
+                    self._rejections += 1
+            if self.persist_path is not None:
+                try:
+                    self.buffer.save(self.persist_path)
+                except OSError:
+                    pass
+            return decision
+
+    def _training_points(self, batch: list[ExperienceTuple]):
+        """Expand a sampled batch through Balsa's §4.1 label correction.
+
+        Each tuple becomes one agent-side execution record (its simulated
+        cost standing in for latency); the agent buffer then augments by
+        subplan and corrects every label to the best cost among sampled
+        executions containing that subplan.
+        """
+        queries = {item.query.name: item.query for item in batch}
+        experience = ExperienceBuffer(queries.__getitem__)
+        for item in batch:
+            experience.add_execution(
+                item.query.name, item.plan, item.executed_cost
+            )
+        return experience.training_points()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> ExperienceMetrics:
+        """A snapshot of the whole subsystem (sink + buffer + loop)."""
+        monitor = getattr(self.lifecycle, "live_monitor", None)
+        rollbacks = 0
+        stats = getattr(monitor, "stats", None)
+        if callable(stats):
+            try:
+                rollbacks = int(getattr(stats(), "rollbacks", 0))
+            except Exception:  # noqa: BLE001 - metrics must not fail
+                rollbacks = 0
+        with self._lock:
+            return ExperienceMetrics(
+                running=self.running,
+                sink=self.sink.stats(),
+                buffer=self.buffer.stats(),
+                rounds=self._rounds,
+                promotions=self._promotions,
+                rejections=self._rejections,
+                failures=self._failures,
+                rollbacks=rollbacks,
+                trained_examples=self._trained_examples,
+                last_round_seconds=self._last_round_seconds,
+                cost_trend=list(self._cost_trend),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _resolve_featurizer(self):
+        if self._featurizer is not None:
+            return self._featurizer
+        network = self.lifecycle.service.serving_network()
+        if network is None:
+            raise RuntimeError(
+                "online trainer loop needs a featurizer: pass one explicitly "
+                "or front a service with a serving network"
+            )
+        return network.featurizer

@@ -1,0 +1,65 @@
+"""The experience subsystem's metrics block, as served by the gateway.
+
+One dataclass composing the sink, buffer and trainer-loop counters into the
+shape ``GET /v1/experience`` (and the ``experience`` block of
+``GET /v1/metrics``) returns.  The cost trend — the windowed mean
+simulated-executed cost of recent traffic, one point per training round — is
+the soak's headline: it should fall across autonomous promotions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experience.replay import ReplayBufferStats
+from repro.experience.sink import SinkStats
+
+
+@dataclass
+class ExperienceMetrics:
+    """A snapshot of the online-learning loop.
+
+    Attributes:
+        running: Whether the trainer-loop thread is alive.
+        sink: Request-path sink counters (depth, drops, stalls).
+        buffer: Replay-buffer counters (size, dedup, reservoir).
+        rounds: Fine-tune rounds completed.
+        promotions: Rounds whose candidate passed the shadow gate and was
+            promoted.
+        rejections: Rounds whose candidate the gate refused.
+        failures: Rounds that errored (training or gating raised).
+        rollbacks: Automatic live-traffic rollbacks of loop promotions (from
+            the attached live monitor).
+        trained_examples: Training points consumed across all rounds.
+        last_round_seconds: Wall-clock duration of the most recent round.
+        cost_trend: Windowed mean executed cost per round (oldest first) —
+            the "regressions trend down" series.
+    """
+
+    running: bool = False
+    sink: SinkStats = field(default_factory=SinkStats)
+    buffer: ReplayBufferStats = field(default_factory=ReplayBufferStats)
+    rounds: int = 0
+    promotions: int = 0
+    rejections: int = 0
+    failures: int = 0
+    rollbacks: int = 0
+    trained_examples: int = 0
+    last_round_seconds: float = 0.0
+    cost_trend: list[float] = field(default_factory=list)
+
+    def to_json_dict(self) -> dict:
+        """JSON-safe dict form."""
+        return {
+            "running": self.running,
+            "sink": self.sink.to_json_dict(),
+            "buffer": self.buffer.to_json_dict(),
+            "rounds": self.rounds,
+            "promotions": self.promotions,
+            "rejections": self.rejections,
+            "failures": self.failures,
+            "rollbacks": self.rollbacks,
+            "trained_examples": self.trained_examples,
+            "last_round_seconds": self.last_round_seconds,
+            "cost_trend": list(self.cost_trend),
+        }

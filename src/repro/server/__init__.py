@@ -22,12 +22,17 @@ on top of the in-process stack it fronts:
   with an inherited-fd fallback) under a health-checking, respawning
   supervisor, with :class:`~repro.server.sharding.PlanCacheServer` /
   :class:`~repro.server.sharding.SharedCacheClient` providing the
-  cross-process plan-cache tier.
+  cross-process plan-cache tier and
+  :class:`~repro.server.sharding.OpsBroadcastServer` /
+  :class:`~repro.server.sharding.OpsChannelClient` keeping promote/rollback
+  coherent across all workers.
 """
 
 from repro.server.app import DEFAULT_PLANNER, PlanningServer
 from repro.server.shadow_traffic import ShadowTrafficStats, TrafficShadower
 from repro.server.sharding import (
+    OpsBroadcastServer,
+    OpsChannelClient,
     PlanCacheServer,
     ShardedGateway,
     SharedCacheClient,
@@ -52,6 +57,8 @@ from repro.server.wire import (
 
 __all__ = [
     "DEFAULT_PLANNER",
+    "OpsBroadcastServer",
+    "OpsChannelClient",
     "PlanCacheServer",
     "PlanningServer",
     "ShardedGateway",

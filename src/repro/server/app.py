@@ -43,6 +43,7 @@ from repro.service.service import PlannerService, ServiceResponse
 from repro.sql.query import Query
 
 if TYPE_CHECKING:
+    from repro.experience.loop import OnlineTrainerLoop
     from repro.lifecycle.manager import ModelLifecycle
     from repro.lifecycle.registry import ModelRegistry
     from repro.planning.registry import PlannerRegistry
@@ -62,6 +63,7 @@ KNOWN_PATHS = frozenset(
         "/v1/models",
         "/v1/models/promote",
         "/v1/models/rollback",
+        "/v1/experience",
     }
 )
 
@@ -78,6 +80,10 @@ class PlanningServer:
             through it (cache warming included).
         shadower: Optional live-traffic shadower; ``/v1/plan`` traffic feeds
             it and promotions arm it.
+        experience: Optional online-learning loop
+            (:class:`~repro.experience.loop.OnlineTrainerLoop`); every served
+            plan is recorded into its sink off the hot path, and its metrics
+            are exposed at ``GET /v1/experience`` and inside ``/v1/metrics``.
         planner_registry: Optional planner registry; requests naming a
             ``planner`` are served through a per-planner
             :class:`PlannerService` built lazily over these entries (owned —
@@ -106,6 +112,7 @@ class PlanningServer:
         registry: "ModelRegistry | None" = None,
         lifecycle: "ModelLifecycle | None" = None,
         shadower: "TrafficShadower | None" = None,
+        experience: "OnlineTrainerLoop | None" = None,
         planner_registry: "PlannerRegistry | None" = None,
         queries: Iterable[Query] | None = None,
         featurizer=None,
@@ -120,6 +127,10 @@ class PlanningServer:
         self.registry = registry
         self.lifecycle = lifecycle
         self.shadower = shadower
+        self.experience = experience
+        #: Sharded-gateway ops channel (set by the worker bootstrap); promote
+        #: and rollback publish through it so sibling workers swap too.
+        self.ops_channel = None
         self.planner_registry = planner_registry
         self.verbose = verbose
         self._featurizer = featurizer
@@ -311,6 +322,33 @@ class PlanningServer:
         except Exception:  # noqa: BLE001 - shadow path must not fail traffic
             pass
 
+    def _record_experience(
+        self, request: PlanRequest, response: ServiceResponse
+    ) -> None:
+        """Feed one served answer to the experience sink (never raises).
+
+        Every returned plan becomes one tuple — the chosen plan plus the
+        runners-up, each with its own predicted cost — because the online
+        loop learns ranking structure from the alternatives the model itself
+        surfaced, not just from its single favourite.
+        """
+        if self.experience is None or not response.plans:
+            return
+        try:
+            model_version = (
+                response.stats.model_version if response.stats is not None else None
+            )
+            for plan, predicted in zip(response.plans, response.predicted_latencies):
+                self.experience.observe(
+                    request.query,
+                    plan,
+                    predicted,
+                    planner_id=response.planner_name or DEFAULT_PLANNER,
+                    model_version=model_version,
+                )
+        except Exception:  # noqa: BLE001 - learning must not fail traffic
+            pass
+
     @staticmethod
     def _response_status(response: ServiceResponse) -> int:
         """504 for a budget-drained empty answer, 200 otherwise."""
@@ -364,6 +402,7 @@ class PlanningServer:
             return 503, {"error": str(error), "kind": "unavailable"}
         if service is self.service:
             self._observe(request)
+            self._record_experience(request, response)
         return self._response_status(response), response.to_json_dict()
 
     def handle_plan_many(self, payload: object) -> tuple[int, dict]:
@@ -394,8 +433,9 @@ class PlanningServer:
         except RuntimeError as error:
             return 503, {"error": str(error), "kind": "unavailable"}
         if service is self.service:
-            for request in requests:
+            for request, response in zip(requests, responses):
                 self._observe(request)
+                self._record_experience(request, response)
         return 200, {"results": [response.to_json_dict() for response in responses]}
 
     # ------------------------------------------------------------------ #
@@ -418,13 +458,26 @@ class PlanningServer:
         shadow = self.shadower.stats().to_json_dict() if self.shadower else None
         shared_stats = getattr(self.service.cache, "shared_stats", None)
         shared_cache = shared_stats() if callable(shared_stats) else None
+        experience = (
+            self.experience.metrics().to_json_dict() if self.experience else None
+        )
         return 200, {
             "planners": planners,
             "gateway": gateway,
             "shadow": shadow,
             "shared_cache": shared_cache,
+            "experience": experience,
             "worker_id": self.worker_id,
         }
+
+    def handle_experience(self) -> tuple[int, dict]:
+        """``GET /v1/experience`` — the online-learning loop's own block."""
+        if self.experience is None:
+            return 503, {
+                "error": "gateway has no experience subsystem (start with --learn)",
+                "kind": "unavailable",
+            }
+        return 200, self.experience.metrics().to_json_dict()
 
     def handle_models(self) -> tuple[int, dict]:
         """``GET /v1/models``."""
@@ -453,13 +506,20 @@ class PlanningServer:
             "shadow": shadow,
         }
 
-    def handle_promote(self, payload: object) -> tuple[int, dict]:
+    def handle_promote(
+        self, payload: object, *, propagate: bool = True
+    ) -> tuple[int, dict]:
         """``POST /v1/models/promote`` — hot-swap a registered version in.
 
         This is the ops override: it bypasses the probe-workload gate (the
         lifecycle's ``evaluate_and_apply`` owns that path) but never the
         live-traffic guard — the shadower is armed with the displaced
         version, so a bad promotion is rolled back by real requests.
+
+        Under the sharded gateway a successful promote is re-broadcast to
+        every sibling worker through the supervisor's ops channel (unless
+        ``propagate`` is False — the flag replayed broadcasts arrive with,
+        so an op is applied exactly once per worker and never echoes).
         """
         if self.registry is None:
             return 503, {"error": "gateway has no model registry", "kind": "unavailable"}
@@ -474,6 +534,9 @@ class PlanningServer:
             return 404, {"error": str(error), "kind": "unknown_version"}
         previous = self.registry.serving_version
         if previous == version:
+            # Already serving here, but siblings may not be: still broadcast.
+            if propagate:
+                self._publish_op({"op": "promote", "version": version})
             return 200, {"serving_version": version, "previous_serving_version": previous}
         displaced = self.service.serving_network()
         try:
@@ -498,6 +561,8 @@ class PlanningServer:
                 pass
             return 409, {"error": str(error), "kind": "conflict"}
         self._retire_cached_version(displaced)
+        if propagate:
+            self._publish_op({"op": "promote", "version": version})
         if self.shadower is not None:
             try:
                 self.shadower.watch(version, previous)
@@ -514,8 +579,12 @@ class PlanningServer:
             "shadow_armed": self.shadower.armed if self.shadower else False,
         }
 
-    def handle_rollback(self) -> tuple[int, dict]:
-        """``POST /v1/models/rollback`` — revert to the previous version."""
+    def handle_rollback(self, *, propagate: bool = True) -> tuple[int, dict]:
+        """``POST /v1/models/rollback`` — revert to the previous version.
+
+        Like :meth:`handle_promote`, a successful rollback is re-broadcast
+        to sibling workers through the ops channel when sharded.
+        """
         if self.registry is None:
             return 503, {"error": "gateway has no model registry", "kind": "unavailable"}
         rolled_from = self.registry.serving_version
@@ -538,6 +607,8 @@ class PlanningServer:
         except RuntimeError as error:
             return 503, {"error": str(error), "kind": "unavailable"}
         self._retire_cached_version(displaced)
+        if propagate:
+            self._publish_op({"op": "rollback"})
         if self.shadower is not None:
             # Idempotent: the lifecycle path may already have disarmed its
             # attached monitor, but this gateway's shadower must never stay
@@ -547,6 +618,41 @@ class PlanningServer:
             "serving_version": snapshot.version,
             "rolled_back_from": rolled_from,
         }
+
+    # ------------------------------------------------------------------ #
+    # Sharded ops coherence
+    # ------------------------------------------------------------------ #
+    def _publish_op(self, message: dict) -> None:
+        """Best-effort broadcast of an applied ops action to sibling workers."""
+        channel = self.ops_channel
+        if channel is None:
+            return
+        try:
+            channel.publish(message)
+        except Exception:  # noqa: BLE001 - coherence is best-effort, never fatal
+            pass
+
+    def apply_ops_message(self, message: object) -> None:
+        """Apply a promote/rollback broadcast received from a sibling worker.
+
+        Runs on the ops-channel listener thread; applies the action locally
+        with ``propagate=False`` so it is never re-broadcast (the supervisor
+        already fans each op out to every *other* worker exactly once).
+        Failures are swallowed — a worker that cannot apply an op (e.g. the
+        version was evicted locally) keeps serving what it has.
+        """
+        if not isinstance(message, Mapping):
+            return
+        op = message.get("op")
+        try:
+            if op == "promote":
+                self.handle_promote(
+                    {"version": message.get("version")}, propagate=False
+                )
+            elif op == "rollback":
+                self.handle_rollback(propagate=False)
+        except Exception:  # noqa: BLE001 - a bad broadcast must not kill the listener
+            pass
 
     def handle_health(self) -> tuple[int, dict]:
         """``GET /healthz``."""

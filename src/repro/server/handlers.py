@@ -102,6 +102,7 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             "/healthz": self.gateway.handle_health,
             "/v1/metrics": self.gateway.handle_metrics,
             "/v1/models": self.gateway.handle_models,
+            "/v1/experience": self.gateway.handle_experience,
         }
         self._dispatch(routes)
 

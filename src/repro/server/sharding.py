@@ -23,6 +23,11 @@ pool.  This module scales the gateway out without changing the worker:
   is best-effort: a crashed or unreachable cache server degrades the worker
   to its local LRU (:class:`~repro.service.cache.TieredPlanCache` layers the
   two), never to failed foreground requests.
+- :class:`OpsBroadcastServer` / :class:`OpsChannelClient` are the
+  **ops-coherence channel**: the kernel load-balances connections, so a
+  ``promote``/``rollback`` POST lands on one worker — the receiving worker
+  re-broadcasts it through the supervisor's bus and every sibling applies it
+  locally, keeping the whole shard serving the same version.
 """
 
 from __future__ import annotations
@@ -131,13 +136,24 @@ class PlanCacheServer:
     Args:
         address: Unix-socket path (or TCP ``(host, port)``) to listen on.
         capacity: Maximum entries; least recently used are evicted when full.
+        min_planning_seconds: Admission floor — a put whose JSON value
+            reports ``planning_seconds`` below this is acknowledged but not
+            stored (and counted in ``admission_skips``).  Cheap-to-replan
+            entries are not worth a shared-tier slot: admitting them evicts
+            plans that took real search time.  0 admits everything.
     """
 
-    def __init__(self, address, capacity: int = 8192):
+    def __init__(
+        self, address, capacity: int = 8192, *, min_planning_seconds: float = 0.0
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if min_planning_seconds < 0:
+            raise ValueError("min_planning_seconds must be >= 0")
         self.address = address
         self.capacity = capacity
+        self.min_planning_seconds = min_planning_seconds
+        self._admission_skips = 0
         self._entries: OrderedDict[bytes, tuple[bytes, bytes]] = OrderedDict()
         self._by_tag: dict[bytes, set[bytes]] = {}
         self._lock = threading.Lock()
@@ -290,6 +306,10 @@ class PlanCacheServer:
                 raise ValueError("truncated put body")
         except (struct.error, ValueError):
             return _REPLY_ERROR + b"malformed put"
+        if self.min_planning_seconds > 0 and not self._admit(value):
+            with self._lock:
+                self._admission_skips += 1
+            return _REPLY_OK  # acknowledged, deliberately not stored
         with self._lock:
             old = self._entries.get(key)
             if old is not None and old[0] != tag:
@@ -307,6 +327,23 @@ class PlanCacheServer:
                         del self._by_tag[evicted_tag]
                 self._evictions += 1
         return _REPLY_OK
+
+    def _admit(self, value: bytes) -> bool:
+        """Admission check: does the entry clear the planning-time floor?
+
+        Values are the JSON wire encoding of a
+        :class:`~repro.service.planner_service.PlanResult`; anything that
+        does not decode to one (or predates ``planning_seconds``) is
+        admitted — the floor only ever skips entries it can prove cheap.
+        """
+        try:
+            decoded = json.loads(value.decode("utf-8"))
+            planning_seconds = decoded["planning_seconds"]
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+            return True
+        if not isinstance(planning_seconds, (int, float)):
+            return True
+        return planning_seconds >= self.min_planning_seconds
 
     def _invalidate(self, tag: bytes) -> int:
         with self._lock:
@@ -329,6 +366,8 @@ class PlanCacheServer:
                 "size": len(self._entries),
                 "versions": len(self._by_tag),
                 "capacity": self.capacity,
+                "admission_skips": self._admission_skips,
+                "min_planning_seconds": self.min_planning_seconds,
             }
         lookups = hits + misses
         report["hit_rate"] = hits / lookups if lookups else 0.0
@@ -461,6 +500,257 @@ class SharedCacheClient:
 
 
 # ---------------------------------------------------------------------- #
+# The ops-coherence channel
+# ---------------------------------------------------------------------- #
+class OpsBroadcastServer:
+    """Supervisor-owned fan-out bus for ops actions (promote/rollback).
+
+    The kernel load-balances HTTP connections across workers, so a
+    ``POST /v1/models/promote`` lands on *one* worker — without coherence the
+    other workers keep serving the old version.  Each worker holds one
+    long-lived connection to this server (same length-prefixed framing as
+    the cache tier, JSON payloads); an op frame published by any worker is
+    re-broadcast to every **other** connection, so the publisher never
+    receives its own op back and each op is applied exactly once per worker.
+
+    Args:
+        address: Unix-socket path (or TCP ``(host, port)``) to listen on.
+    """
+
+    def __init__(self, address):
+        self.address = address
+        self._connections: dict[socket.socket, object] = {}
+        self._conn_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._closed = False
+        self._published = 0
+        self._delivered = 0
+        self._delivery_errors = 0
+
+    def start(self) -> "OpsBroadcastServer":
+        """Bind the socket and relay frames on background threads."""
+        if self._closed:
+            raise RuntimeError("ops broadcast server is closed")
+        if self._listener is not None:
+            return self
+        self._listener = _make_server_socket(self.address)
+        if not isinstance(self.address, str):
+            self.address = self._listener.getsockname()  # resolve port 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="ops-bus-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, sever live connections, release the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        if isinstance(self.address, str):
+            try:
+                os.unlink(self.address)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "OpsBroadcastServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._conn_lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._connections[conn] = None
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="ops-bus-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                frame = _recv_frame(conn)
+                try:
+                    message = json.loads(frame.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    continue  # a garbled frame is dropped, not fatal
+                if isinstance(message, dict) and "hello" in message:
+                    with self._conn_lock:
+                        if conn in self._connections:
+                            self._connections[conn] = message["hello"]
+                    continue
+                self._broadcast(conn, frame)
+        except (ConnectionError, OSError, struct.error):
+            pass  # peer went away (worker exit, crash, close())
+        finally:
+            with self._conn_lock:
+                self._connections.pop(conn, None)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _broadcast(self, origin: socket.socket, frame: bytes) -> None:
+        with self._conn_lock:
+            self._published += 1
+            peers = [conn for conn in self._connections if conn is not origin]
+        for peer in peers:
+            try:
+                _send_frame(peer, frame)
+                with self._conn_lock:
+                    self._delivered += 1
+            except (OSError, ConnectionError):
+                # The reader loop owns teardown; it sees the broken socket.
+                with self._conn_lock:
+                    self._delivery_errors += 1
+
+    def stats(self) -> dict:
+        """Bus counters plus the currently connected worker ids."""
+        with self._conn_lock:
+            return {
+                "connections": len(self._connections),
+                "workers": sorted(
+                    w for w in self._connections.values() if w is not None
+                ),
+                "published": self._published,
+                "delivered": self._delivered,
+                "delivery_errors": self._delivery_errors,
+            }
+
+
+class OpsChannelClient:
+    """One worker's connection to the ops bus.
+
+    Satisfies the gateway's ``ops_channel`` duck type (``publish(dict)``).
+    A background listener thread delivers broadcasts from sibling workers to
+    ``on_op`` (the gateway's ``apply_ops_message``).  Both directions are
+    best-effort: a dead bus costs dropped coherence messages, never a failed
+    foreground request.
+
+    Args:
+        address: The bus address (see :class:`OpsBroadcastServer`).
+        worker_id: Announced to the bus in the hello frame (for stats).
+        on_op: Callback invoked with each decoded broadcast dict.
+        timeout: Connect/send timeout.
+    """
+
+    def __init__(self, address, worker_id: int, on_op, *, timeout: float = 2.0):
+        self.address = address
+        self.worker_id = worker_id
+        self.on_op = on_op
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._send_lock = threading.Lock()
+        self._listener: threading.Thread | None = None
+        self._closed = False
+        self._published = 0
+        self._received = 0
+        self._errors = 0
+
+    def start(self) -> "OpsChannelClient":
+        """Connect, announce, and start the listener thread."""
+        if self._closed:
+            raise RuntimeError("ops channel client is closed")
+        if self._sock is not None:
+            return self
+        sock = _connect(self.address, self.timeout)
+        # The listener blocks in recv indefinitely; only sends are bounded.
+        sock.settimeout(None)
+        _send_frame(sock, json.dumps({"hello": self.worker_id}).encode("utf-8"))
+        self._sock = sock
+        self._listener = threading.Thread(
+            target=self._listen, name=f"ops-bus-listen-{self.worker_id}", daemon=True
+        )
+        self._listener.start()
+        return self
+
+    def publish(self, message: dict) -> bool:
+        """Send one op frame to the bus (best-effort; False on failure)."""
+        try:
+            frame = json.dumps(message).encode("utf-8")
+        except (TypeError, ValueError):
+            return False
+        with self._send_lock:
+            if self._sock is None:
+                return False
+            try:
+                self._sock.sendall(struct.pack(">I", len(frame)) + frame)
+                self._published += 1
+                return True
+            except (OSError, ConnectionError):
+                self._errors += 1
+                return False
+
+    def _listen(self) -> None:
+        sock = self._sock
+        try:
+            while True:
+                frame = _recv_frame(sock)
+                try:
+                    message = json.loads(frame.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    continue
+                self._received += 1
+                try:
+                    self.on_op(message)
+                except Exception:  # noqa: BLE001 - the listener must survive
+                    pass
+        except (ConnectionError, OSError, struct.error):
+            pass  # bus went away; coherence degrades, serving continues
+
+    def stats(self) -> dict:
+        """This client's transport counters."""
+        with self._send_lock:
+            return {
+                "published": self._published,
+                "received": self._received,
+                "errors": self._errors,
+                "connected": self._sock is not None,
+            }
+
+    def close(self) -> None:
+        self._closed = True
+        with self._send_lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+        if self._listener is not None:
+            self._listener.join(timeout=1.0)
+
+
+# ---------------------------------------------------------------------- #
 # The pre-forked gateway
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -472,12 +762,14 @@ class WorkerSpec:
         host: Address the shared port is bound on.
         port: The concrete shared port (resolved by the supervisor).
         cache_address: Shared cache tier address, or None when disabled.
+        ops_address: Ops-coherence bus address, or None when disabled.
     """
 
     worker_id: int
     host: str
     port: int
     cache_address: "str | tuple[str, int] | None" = None
+    ops_address: "str | tuple[str, int] | None" = None
 
 
 #: Builds one worker's (unstarted) gateway from its spec.  Runs inside the
@@ -496,6 +788,7 @@ def _sharded_worker_main(
     ready_write_fd: int,
     drain_grace: float,
     local_cache_capacity: int | None,
+    shared_cache_min_planning_seconds: float = 0.0,
 ) -> None:
     """One gateway worker process: build, serve, drain on shutdown.
 
@@ -519,8 +812,19 @@ def _sharded_worker_main(
         if local_cache_capacity is not None:
             local = ServicePlanCache(local_cache_capacity)
         gateway.service.cache = TieredPlanCache(
-            local, SharedCacheClient(spec.cache_address)
+            local,
+            SharedCacheClient(spec.cache_address),
+            min_shared_planning_seconds=shared_cache_min_planning_seconds,
         )
+    ops_client = None
+    if spec.ops_address is not None:
+        try:
+            ops_client = OpsChannelClient(
+                spec.ops_address, spec.worker_id, gateway.apply_ops_message
+            ).start()
+            gateway.ops_channel = ops_client
+        except (OSError, ConnectionError):
+            ops_client = None  # coherence degrades; serving continues
     gateway.start(reuse_port=listen_socket is None, listen_socket=listen_socket)
     message = json.dumps(
         {"worker_id": spec.worker_id, "pid": os.getpid(), "port": gateway.port}
@@ -534,6 +838,8 @@ def _sharded_worker_main(
         # Graceful drain: stop accepting, then give in-flight handler
         # threads a grace window to finish writing before the process exits.
         gateway.close()
+        if ops_client is not None:
+            ops_client.close()
         time.sleep(drain_grace)
 
 
@@ -553,6 +859,12 @@ class ShardedGateway:
         shared_cache: Run the cross-process plan-cache tier (the supervisor
             owns it; workers layer it under their local LRU as an L2).
         shared_cache_capacity: Entry capacity of the shared tier.
+        shared_cache_min_planning_seconds: Admission floor for the shared
+            tier: plans that took less search time than this stay in the
+            worker's local L1 only (and the tier server skips any that slip
+            through).  0 admits everything.
+        ops_channel: Run the ops-coherence bus: a promote/rollback landing
+            on any worker is re-broadcast so every worker applies it.
         local_cache_capacity: When set, each worker's L1 is shrunk to this
             many entries (the tier holds the long tail); None keeps the
             factory-built service's own cache as the L1.
@@ -579,6 +891,8 @@ class ShardedGateway:
         port: int = 0,
         shared_cache: bool = True,
         shared_cache_capacity: int = 8192,
+        shared_cache_min_planning_seconds: float = 0.0,
+        ops_channel: bool = True,
         local_cache_capacity: int | None = None,
         max_respawns: int = 2,
         health_interval_seconds: float = 0.5,
@@ -600,10 +914,13 @@ class ShardedGateway:
         self._requested_port = port
         self._shared_cache = shared_cache
         self._shared_cache_capacity = shared_cache_capacity
+        self._shared_cache_min_planning_seconds = shared_cache_min_planning_seconds
+        self._ops_channel = ops_channel
         self._local_cache_capacity = local_cache_capacity
         self._reuse_port_requested = reuse_port
 
         self.cache_server: PlanCacheServer | None = None
+        self.ops_server: OpsBroadcastServer | None = None
         self._tempdir: str | None = None
         self._reserve_socket: socket.socket | None = None
         self._listen_socket: socket.socket | None = None
@@ -652,9 +969,19 @@ class ShardedGateway:
             else:  # pragma: no cover - non-POSIX platforms
                 cache_address = ("127.0.0.1", 0)
             self.cache_server = PlanCacheServer(
-                cache_address, capacity=self._shared_cache_capacity
+                cache_address,
+                capacity=self._shared_cache_capacity,
+                min_planning_seconds=self._shared_cache_min_planning_seconds,
             ).start()
             cache_address = self.cache_server.address  # resolved TCP port
+        ops_address = None
+        if self._ops_channel:
+            if hasattr(socket, "AF_UNIX"):
+                ops_address = os.path.join(self._tempdir, "ops.sock")
+            else:  # pragma: no cover - non-POSIX platforms
+                ops_address = ("127.0.0.1", 0)
+            self.ops_server = OpsBroadcastServer(ops_address).start()
+            ops_address = self.ops_server.address  # resolved TCP port
 
         use_reuse_port = self._reuse_port_requested
         if use_reuse_port is None:
@@ -677,6 +1004,7 @@ class ShardedGateway:
             self._port = listener.getsockname()[1]
         self._use_reuse_port = use_reuse_port
         self._cache_address = cache_address
+        self._ops_address = ops_address
 
         self._shutdown_r, self._shutdown_w = os.pipe()
         self._ready_r, self._ready_w = os.pipe()
@@ -695,6 +1023,7 @@ class ShardedGateway:
             host=self._host,
             port=self._port,
             cache_address=self._cache_address,
+            ops_address=self._ops_address,
         )
         process = self._context.Process(
             target=_sharded_worker_main,
@@ -708,6 +1037,7 @@ class ShardedGateway:
                 self._ready_w,
                 self.drain_grace_seconds,
                 self._local_cache_capacity,
+                self._shared_cache_min_planning_seconds,
             ),
             name=f"repro-gateway-worker-{slot}",
             daemon=True,
@@ -797,6 +1127,8 @@ class ShardedGateway:
                     pass
         if self.cache_server is not None:
             self.cache_server.close()
+        if self.ops_server is not None:
+            self.ops_server.close()
         if self._tempdir is not None:
             shutil.rmtree(self._tempdir, ignore_errors=True)
 
@@ -880,4 +1212,7 @@ class ShardedGateway:
             "workers_seen_healthy": healthy_workers,
             "reuse_port": getattr(self, "_use_reuse_port", None),
             "shared_cache": self.shared_cache_stats(),
+            "ops_channel": (
+                self.ops_server.stats() if self.ops_server is not None else None
+            ),
         }

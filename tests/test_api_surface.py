@@ -24,6 +24,9 @@ EXPECTED_API = sorted(
         "BaoAgent",
         "BeamPlanner",
         "BeamSearchPlanner",
+        "ExperienceMetrics",
+        "ExperienceSink",
+        "ExperienceTuple",
         "ExperimentScale",
         "InProcessBackend",
         "LifecycleError",
@@ -31,6 +34,7 @@ EXPECTED_API = sorted(
         "ModelRegistry",
         "ModelSnapshot",
         "NeoAgent",
+        "OnlineTrainerLoop",
         "Planner",
         "PlannerRegistry",
         "PlannerService",
@@ -41,6 +45,7 @@ EXPECTED_API = sorted(
         "ProcessPoolBackend",
         "PromotionDecision",
         "RandomPlanner",
+        "ReplayBuffer",
         "ScoringBackend",
         "ScoringBackendError",
         "ServiceMetrics",

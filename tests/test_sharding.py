@@ -16,6 +16,7 @@ import socket
 import time
 import urllib.error
 import urllib.request
+from dataclasses import replace
 
 import pytest
 
@@ -27,6 +28,8 @@ from repro.search.beam import BeamSearchPlanner
 from repro.server import PlanningServer
 from repro.server.sharding import (
     MAX_FRAME_BYTES,
+    OpsBroadcastServer,
+    OpsChannelClient,
     PlanCacheServer,
     ShardedGateway,
     SharedCacheClient,
@@ -578,3 +581,294 @@ class TestShardedGateway:
             ShardedGateway(factory, num_workers=0)
         with pytest.raises(ValueError):
             ShardedGateway(factory, num_workers=2, max_respawns=-1)
+
+
+# ---------------------------------------------------------------------- #
+# Shared-tier admission policy (the planning-time floor)
+# ---------------------------------------------------------------------- #
+class TestCacheAdmission:
+    def test_server_floor_skips_provably_cheap_entries(self, tmp_path):
+        server = PlanCacheServer(
+            str(tmp_path / "adm.sock"), capacity=8, min_planning_seconds=0.05
+        ).start()
+        try:
+            client = SharedCacheClient(server.address)
+            cheap = json.dumps({"planning_seconds": 0.001}).encode("utf-8")
+            costly = json.dumps({"planning_seconds": 0.2}).encode("utf-8")
+            # The put "succeeds" (callers never care) but is not admitted.
+            assert client.put(b"cheap", b"tag", cheap)
+            assert client.get(b"cheap") is None
+            assert client.put(b"costly", b"tag", costly)
+            assert client.get(b"costly") == costly
+            stats = server.stats()
+            assert stats["admission_skips"] == 1
+            assert stats["inserts"] == 1
+            assert stats["min_planning_seconds"] == 0.05
+            client.close()
+        finally:
+            server.close()
+
+    def test_undecodable_values_are_admitted(self, tmp_path):
+        # The floor only rejects entries it can *prove* cheap: opaque or
+        # malformed values sail through rather than silently disappearing.
+        server = PlanCacheServer(
+            str(tmp_path / "adm2.sock"), capacity=8, min_planning_seconds=0.05
+        ).start()
+        try:
+            client = SharedCacheClient(server.address)
+            for key, value in [
+                (b"opaque", b"\xff\xfe not utf-8"),
+                (b"notdict", b"[1, 2, 3]"),
+                (b"nofield", b"{}"),
+                (b"badtype", b'{"planning_seconds": "soon"}'),
+            ]:
+                assert client.put(key, b"tag", value)
+                assert client.get(key) == value
+            assert server.stats()["admission_skips"] == 0
+            client.close()
+        finally:
+            server.close()
+
+    def test_zero_floor_admits_everything(self, cache_server):
+        client = SharedCacheClient(cache_server.address)
+        cheap = json.dumps({"planning_seconds": 0.0}).encode("utf-8")
+        assert client.put(b"free", b"tag", cheap)
+        assert client.get(b"free") == cheap
+        assert cache_server.stats()["admission_skips"] == 0
+        client.close()
+
+    def test_tiered_cache_skips_shared_put_below_floor(self, bench, cache_server):
+        query = bench.train_queries[0]
+        tier = TieredPlanCache(
+            ServicePlanCache(8),
+            SharedCacheClient(cache_server.address),
+            min_shared_planning_seconds=0.05,
+        )
+        key = (query.fingerprint(), ("net", 1), 2, None)
+        cheap = make_result(bench, query)  # planning_seconds=0.01
+        tier.store(key, cheap)
+        # L1 always stores; the shared put was skipped client-side.
+        assert tier.local.contains(key)
+        stats = tier.shared_stats()
+        assert stats["admission_skipped"] == 1
+        assert stats["shared_stores"] == 0
+        assert cache_server.stats()["size"] == 0
+
+        other = bench.train_queries[1]
+        costly = replace(make_result(bench, other), planning_seconds=0.2)
+        other_key = (other.fingerprint(), ("net", 1), 2, None)
+        tier.store(other_key, costly)
+        assert tier.shared_stats()["shared_stores"] == 1
+        assert cache_server.stats()["size"] == 1
+
+    def test_invalid_floors_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PlanCacheServer(str(tmp_path / "x.sock"), min_planning_seconds=-0.1)
+        with pytest.raises(ValueError):
+            TieredPlanCache(
+                ServicePlanCache(8), None, min_shared_planning_seconds=-1.0
+            )
+
+
+# ---------------------------------------------------------------------- #
+# The ops-coherence bus (unit: no forking)
+# ---------------------------------------------------------------------- #
+def await_until(predicate, timeout: float = 10.0, message: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out awaiting {message}"
+        time.sleep(0.01)
+
+
+class TestOpsChannel:
+    def test_publish_reaches_peers_but_never_echoes(self, tmp_path):
+        server = OpsBroadcastServer(str(tmp_path / "ops.sock")).start()
+        try:
+            received_a: list = []
+            received_b: list = []
+            client_a = OpsChannelClient(server.address, 0, received_a.append).start()
+            client_b = OpsChannelClient(server.address, 1, received_b.append).start()
+            await_until(
+                lambda: server.stats()["connections"] == 2, message="registration"
+            )
+            assert client_a.publish({"op": "promote", "version": 7})
+            await_until(lambda: len(received_b) == 1, message="delivery to peer")
+            assert received_b == [{"op": "promote", "version": 7}]
+            assert received_a == []  # the publisher is never echoed
+            stats = server.stats()
+            assert sorted(stats["workers"]) == [0, 1]
+            assert stats["published"] == 1
+            assert stats["delivered"] == 1
+            assert stats["delivery_errors"] == 0
+            client_a.close()
+            client_b.close()
+        finally:
+            server.close()
+
+    def test_publish_degrades_when_bus_is_gone(self, tmp_path):
+        server = OpsBroadcastServer(str(tmp_path / "ops2.sock")).start()
+        client = OpsChannelClient(server.address, 0, lambda op: None).start()
+        server.close()
+        time.sleep(0.05)
+        assert client.publish({"op": "rollback"}) is False  # no raise
+        client.close()
+
+    def test_callback_errors_do_not_kill_the_listener(self, tmp_path):
+        server = OpsBroadcastServer(str(tmp_path / "ops3.sock")).start()
+        try:
+            received: list = []
+
+            def flaky(message):
+                if not received:
+                    received.append(message)
+                    raise RuntimeError("first delivery explodes")
+                received.append(message)
+
+            publisher = OpsChannelClient(server.address, 0, lambda op: None).start()
+            listener = OpsChannelClient(server.address, 1, flaky).start()
+            await_until(
+                lambda: server.stats()["connections"] == 2, message="registration"
+            )
+            publisher.publish({"op": "rollback"})
+            publisher.publish({"op": "promote", "version": 3})
+            await_until(lambda: len(received) == 2, message="second delivery")
+            publisher.close()
+            listener.close()
+        finally:
+            server.close()
+
+    def test_gateways_stay_coherent_through_the_bus(self, bench, network, tmp_path):
+        """Two in-process gateways wired to one bus: a promote handled by one
+        is applied by the other (and a rollback undoes it everywhere)."""
+        server = OpsBroadcastServer(str(tmp_path / "ops4.sock")).start()
+        stacks = []
+        try:
+            candidate = network.clone()
+            for worker_id in range(2):
+                service = PlannerService(
+                    network, planner=small_planner(), max_workers=1
+                )
+                registry = ModelRegistry()
+                baseline = registry.register(network, source="baseline")
+                registry.promote(baseline.version)
+                registry.register(candidate, source="candidate")
+                gateway = PlanningServer(
+                    service,
+                    registry=registry,
+                    queries=bench.all_queries(),
+                    featurizer=bench.featurizer,
+                    worker_id=worker_id,
+                )
+                client = OpsChannelClient(
+                    server.address, worker_id, gateway.apply_ops_message
+                ).start()
+                gateway.ops_channel = client
+                stacks.append((gateway, registry, service, client))
+            await_until(
+                lambda: server.stats()["connections"] == 2, message="registration"
+            )
+
+            gateway_a, registry_a = stacks[0][0], stacks[0][1]
+            registry_b = stacks[1][1]
+            status, body = gateway_a.handle_promote({"version": 2})
+            assert status == 200, body
+            assert registry_a.serving_version == 2
+            await_until(
+                lambda: registry_b.serving_version == 2,
+                message="peer applying the promote",
+            )
+
+            status, body = gateway_a.handle_rollback()
+            assert status == 200, body
+            assert registry_a.serving_version == 1
+            await_until(
+                lambda: registry_b.serving_version == 1,
+                message="peer applying the rollback",
+            )
+            # Re-broadcast suppression: each op was published exactly once.
+            assert server.stats()["published"] == 2
+        finally:
+            for gateway, _, service, client in stacks:
+                client.close()
+                gateway.close()
+                service.close()
+            server.close()
+
+
+# ---------------------------------------------------------------------- #
+# Cross-worker ops coherence, end to end through the forked shard
+# ---------------------------------------------------------------------- #
+def make_versioned_worker_factory(bench, network, candidate):
+    """Workers with a registry holding v1 (serving) and v2 (the candidate)."""
+
+    def factory(spec: WorkerSpec) -> PlanningServer:
+        service = PlannerService(
+            network, planner=small_planner(), max_workers=2, cache_capacity=256
+        )
+        registry = ModelRegistry()
+        baseline = registry.register(network, source="baseline")
+        registry.promote(baseline.version)
+        registry.register(candidate, source="candidate")
+        return PlanningServer(
+            service,
+            registry=registry,
+            queries=bench.all_queries(),
+            featurizer=bench.featurizer,
+            host=spec.host,
+            port=spec.port,
+        )
+
+    return factory
+
+
+class TestShardedOpsCoherence:
+    def await_all_serving(self, base_url, version, num_workers=2, timeout=30.0):
+        """Poll /healthz on fresh connections until every worker reports
+        ``version`` as serving; returns the set of agreeing worker ids."""
+        agreed: set[int] = set()
+        deadline = time.monotonic() + timeout
+        while agreed != set(range(num_workers)) and time.monotonic() < deadline:
+            status, body, headers = http("GET", f"{base_url}/healthz", timeout=5.0)
+            assert status == 200
+            if body["serving_version"] == version:
+                agreed.add(int(headers["X-Repro-Worker"]))
+        return agreed
+
+    def test_promote_and_rollback_reach_every_worker(self, bench, network):
+        candidate = network.clone()
+        shard = ShardedGateway(
+            make_versioned_worker_factory(bench, network, candidate),
+            num_workers=2,
+            health_interval_seconds=0.1,
+            drain_grace_seconds=0.05,
+        )
+        with shard:
+            base = shard.base_url
+            # The kernel routes this to ONE worker; the ops bus must carry
+            # the swap to the other.
+            status, body, _ = http(
+                "POST", f"{base}/v1/models/promote", {"version": 2}
+            )
+            assert status == 200, body
+            assert self.await_all_serving(base, 2) == {0, 1}
+
+            ops = shard.stats()["ops_channel"]
+            assert ops is not None
+            assert ops["published"] >= 1
+            assert ops["delivered"] >= 1
+
+            status, body, _ = http("POST", f"{base}/v1/models/rollback")
+            assert status == 200, body
+            assert self.await_all_serving(base, 1) == {0, 1}
+
+    def test_bus_can_be_disabled(self, bench, network):
+        shard = ShardedGateway(
+            make_worker_factory(bench, network),
+            num_workers=1,
+            ops_channel=False,
+            drain_grace_seconds=0.05,
+        )
+        with shard:
+            status, _, _ = http("GET", f"{shard.base_url}/healthz", timeout=5.0)
+            assert status == 200
+            assert shard.stats()["ops_channel"] is None
