@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 import urllib.error
 import urllib.request
@@ -75,6 +76,12 @@ def http(method: str, url: str, payload: dict | None = None) -> tuple[int, dict]
         return error.code, json.loads(error.read().decode("utf-8"))
 
 
+def fetch_text(url: str) -> tuple[int, str]:
+    """One GET returning the raw text body (for /metrics)."""
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, response.read().decode("utf-8")
+
+
 def smoke(base_url: str, query_names: list[str]) -> None:
     """Exercise every endpoint once and print what happened."""
     status, body = http("GET", f"{base_url}/healthz")
@@ -99,6 +106,16 @@ def smoke(base_url: str, query_names: list[str]) -> None:
         f"GET /v1/metrics -> {status}: {default['requests']} requests, "
         f"{default['cache_hits']} cache hits, shadow observed "
         f"{body['shadow']['observed'] if body['shadow'] else 0}"
+    )
+
+    status, text = fetch_text(f"{base_url}/metrics")
+    samples = [line for line in text.splitlines() if line and not line.startswith("#")]
+    print(f"GET /metrics -> {status}: {len(samples)} samples in Prometheus text")
+
+    status, body = http("GET", f"{base_url}/v1/traces")
+    print(
+        f"GET /v1/traces -> {status}: {body['recorded']} traces recorded, "
+        f"{len(body['traces'])} in the ring"
     )
 
     status, body = http("GET", f"{base_url}/v1/models")
@@ -258,6 +275,14 @@ def sharded_smoke(gateway: ShardedGateway, query_names: list[str]) -> None:
     print(f"supervisor: {stats['alive_workers']} workers alive, {stats['respawns_used']} respawns")
 
 
+def dump_traces(base_url: str, path: Path) -> None:
+    """Write the gateway's ``/v1/traces`` payload to ``path`` (CI artifact)."""
+    status, body = http("GET", f"{base_url}/v1/traces")
+    assert status == 200, f"/v1/traces returned {status}"
+    path.write_text(json.dumps(body, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {len(body['traces'])} sample traces to {path}")
+
+
 def run_sharded(args, benchmark, network, planner, queries) -> None:
     """Boot the pre-fork sharded gateway and (optionally) smoke it."""
 
@@ -302,6 +327,24 @@ def run_sharded(args, benchmark, network, planner, queries) -> None:
     try:
         if args.smoke:
             sharded_smoke(gateway, [query.name for query in queries[:5]])
+            # Workers push registry snapshots on an interval; give every
+            # worker a beat to report before sampling the fleet merge.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                reporting = gateway.telemetry_server.worker_ids()
+                if len(reporting) >= stats["num_workers"]:
+                    break
+                time.sleep(0.1)
+            status, text = fetch_text(f"{gateway.metrics_url}")
+            samples = [
+                line for line in text.splitlines() if line and not line.startswith("#")
+            ]
+            print(
+                f"GET {gateway.metrics_url} -> {status}: fleet-merged "
+                f"{len(samples)} samples"
+            )
+            if args.traces_out is not None:
+                dump_traces(gateway.base_url, args.traces_out)
             print("smoke: every endpoint answered from every worker")
         else:
             while True:
@@ -337,7 +380,25 @@ def main() -> None:
         "--smoke", action="store_true",
         help="exercise every endpoint against the booted gateway, then exit",
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON logs (gateway, supervisor, workers and "
+        "scorer processes all inherit the setting)",
+    )
+    parser.add_argument(
+        "--traces-out", type=Path, default=None,
+        help="with --smoke: write the gateway's /v1/traces payload (sample "
+        "request traces) to this JSON file before exiting",
+    )
     args = parser.parse_args()
+
+    if args.log_json:
+        # The env flag is what forked shard workers and scorer processes
+        # check (maybe_configure_from_env); set it before any fork.
+        os.environ["REPRO_LOG_JSON"] = "1"
+        from repro.telemetry import configure_json_logging
+
+        configure_json_logging()
 
     if args.workers < 1:
         parser.error("--workers must be at least 1")
@@ -449,6 +510,8 @@ def main() -> None:
                 learning_smoke(
                     gateway.base_url, [query.name for query in queries]
                 )
+            if args.traces_out is not None:
+                dump_traces(gateway.base_url, args.traces_out)
             print("smoke: every endpoint answered")
         else:
             while True:

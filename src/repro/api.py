@@ -83,6 +83,7 @@ from repro.server import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.service import PlannerService, ServiceResponse
+from repro.telemetry import MetricsRegistry, Tracer
 from repro.workloads.benchmark import (
     WorkloadBenchmark,
     make_job_benchmark,
@@ -105,6 +106,7 @@ __all__ = [
     "ExperimentScale",
     "InProcessBackend",
     "LifecycleError",
+    "MetricsRegistry",
     "ModelLifecycle",
     "ModelRegistry",
     "ModelSnapshot",
@@ -129,6 +131,7 @@ __all__ = [
     "ShadowTrafficStats",
     "StateDictMismatchError",
     "ThreadedBatchingBackend",
+    "Tracer",
     "TrafficShadower",
     "UnknownPlannerError",
     "WireFormatError",

@@ -30,6 +30,7 @@ down.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import TYPE_CHECKING, Callable
@@ -295,6 +296,21 @@ class OnlineTrainerLoop:
                     self._promotions += 1
                 else:
                     self._rejections += 1
+                round_seconds = self._last_round_seconds
+            logging.getLogger("repro.experience").info(
+                "online round %d %s",
+                round_number,
+                "promoted" if decision.promoted else "rejected",
+                extra={
+                    "repro_fields": {
+                        "round": round_number,
+                        "promoted": decision.promoted,
+                        "candidate_version": decision.candidate_version,
+                        "trained_examples": len(points),
+                        "round_seconds": round(round_seconds, 4),
+                    }
+                },
+            )
             if self.persist_path is not None:
                 try:
                     self.buffer.save(self.persist_path)

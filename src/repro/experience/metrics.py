@@ -49,17 +49,23 @@ class ExperienceMetrics:
     cost_trend: list[float] = field(default_factory=list)
 
     def to_json_dict(self) -> dict:
-        """JSON-safe dict form."""
-        return {
-            "running": self.running,
-            "sink": self.sink.to_json_dict(),
-            "buffer": self.buffer.to_json_dict(),
-            "rounds": self.rounds,
-            "promotions": self.promotions,
-            "rejections": self.rejections,
-            "failures": self.failures,
-            "rollbacks": self.rollbacks,
-            "trained_examples": self.trained_examples,
-            "last_round_seconds": self.last_round_seconds,
-            "cost_trend": list(self.cost_trend),
-        }
+        """JSON-safe dict form (non-finite floats use the wire spellings)."""
+        # Function-level import: the wire codec lives with the gateway, and
+        # this module must stay importable without the server package loaded.
+        from repro.server.wire import jsonable
+
+        return jsonable(
+            {
+                "running": self.running,
+                "sink": self.sink.to_json_dict(),
+                "buffer": self.buffer.to_json_dict(),
+                "rounds": self.rounds,
+                "promotions": self.promotions,
+                "rejections": self.rejections,
+                "failures": self.failures,
+                "rollbacks": self.rollbacks,
+                "trained_examples": self.trained_examples,
+                "last_round_seconds": self.last_round_seconds,
+                "cost_trend": list(self.cost_trend),
+            }
+        )

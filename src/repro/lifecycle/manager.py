@@ -41,6 +41,7 @@ from repro.lifecycle.trainer import BackgroundTrainer
 from repro.model.value_network import ValueNetwork
 from repro.service.service import PlannerService
 from repro.sql.query import Query
+from repro.telemetry.events import emit_event
 
 
 class ModelLifecycle:
@@ -199,6 +200,12 @@ class ModelLifecycle:
             # never took traffic.
             self.service.swap_network(candidate)
             self.registry.promote(snapshot.version)
+            emit_event(
+                "promotion",
+                source="lifecycle-gate",
+                version=snapshot.version,
+                previous_version=serving_version,
+            )
             self.warm()
             self._arm_live_monitor(snapshot.version, serving_version)
         else:
@@ -245,6 +252,12 @@ class ModelLifecycle:
         snapshot = self.registry.rollback(expected_serving=expected_serving)
         network = snapshot.restore(self._featurizer_for(self._serving_network()))
         self.service.swap_network(network)
+        emit_event(
+            "rollback",
+            source="lifecycle",
+            version=snapshot.version,
+            rolled_back_from=expected_serving,
+        )
         self.warm()
         if self.live_monitor is not None:
             import warnings

@@ -44,12 +44,18 @@ from repro.plans.nodes import PlanNode
 from repro.scoring.core import ScoringCore
 from repro.scoring.protocol import ScoringBackendError, ScoringBridgeStats, VersionPin
 from repro.scoring.wire import (
+    attach_span,
+    attach_trace,
+    detach_span,
+    detach_trace,
     pack_examples,
     pack_predictions,
     unpack_examples,
     unpack_predictions,
 )
 from repro.sql.query import Query
+from repro.telemetry.events import emit_event
+from repro.telemetry.trace import add_span, current_trace_id
 
 if TYPE_CHECKING:
     from repro.lifecycle.registry import ModelRegistry
@@ -86,7 +92,10 @@ def _scorer_main(
     the worker down.
     """
     from repro.lifecycle.snapshot import ModelSnapshot
+    from repro.telemetry.logging import maybe_configure_from_env, set_log_context
 
+    set_log_context(process=f"scorer-{worker_id}")
+    maybe_configure_from_env()
     networks: dict[int, ValueNetwork] = {}
     # Readiness handshake (request id 0 is never allocated to real requests):
     # imports are done and the task loop is about to block on the queue.
@@ -99,6 +108,8 @@ def _scorer_main(
         if token == _CRASH_TOKEN:
             os._exit(3)
         try:
+            trace_id, payload = detach_trace(payload)
+            started = time.perf_counter()
             network = networks.get(token)
             if network is None:
                 path = os.path.join(spool_dir, _snapshot_filename(token))
@@ -119,9 +130,14 @@ def _scorer_main(
             predictions = (
                 np.concatenate(outputs) if outputs else np.zeros(0, dtype=np.float64)
             )
-            result_queue.put(
-                (request_id, True, pack_predictions(predictions), tuple(chunk_sizes))
-            )
+            reply = pack_predictions(predictions)
+            if trace_id is not None:
+                # The scorer measures its own duration; the submitting side
+                # grafts it into the live trace under the request's trace id.
+                reply = attach_span(
+                    reply, worker_id, time.perf_counter() - started
+                )
+            result_queue.put((request_id, True, reply, tuple(chunk_sizes)))
         except BaseException as error:  # noqa: BLE001 - shipped to the caller
             result_queue.put(
                 (request_id, False, f"{type(error).__name__}: {error}", ())
@@ -390,6 +406,9 @@ class ProcessPoolBackend:
             )
         examples = [featurizer.featurize(query, plan) for plan in plans]
         payload = pack_examples(examples)
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            payload = attach_trace(payload, trace_id)
 
         # Closed-check, pending registration and the enqueue share one lock
         # with close(), so no task can slip in behind a shutdown sentinel and
@@ -412,7 +431,16 @@ class ProcessPoolBackend:
             )
         if not pending.ok:
             raise ScoringBackendError(str(pending.data))
-        predictions = unpack_predictions(pending.data)
+        # Graft here, in the submitting thread, where the trace context is
+        # live — the collector thread that filled ``pending`` has none.
+        remote, data = detach_span(pending.data)
+        if remote is not None:
+            scorer_id, seconds = remote
+            add_span(
+                "scoring.forward", seconds,
+                process=f"scorer-{scorer_id}", examples=len(examples),
+            )
+        predictions = unpack_predictions(data)
         self._core.record(1, len(examples), pending.chunk_sizes)
         return predictions
 
@@ -514,6 +542,7 @@ class ProcessPoolBackend:
             self._ready[index] = threading.Event()
             self._dead[index] = False
         self._core.count_respawn()
+        emit_event("scorer_respawn", worker_id=index)
 
     # ------------------------------------------------------------------ #
     # Introspection and lifecycle

@@ -140,3 +140,48 @@ def pack_predictions(values: np.ndarray) -> bytes:
 def unpack_predictions(payload: bytes) -> np.ndarray:
     """Rebuild a prediction vector from :func:`pack_predictions` bytes."""
     return np.frombuffer(payload, dtype=np.float64).copy()
+
+
+# ---------------------------------------------------------------------- #
+# Trace carriage
+# ---------------------------------------------------------------------- #
+# ``unpack_examples`` rejects trailing bytes by design, so the trace id
+# cannot ride inside the FEW1 layout.  Traced payloads instead wear a thin
+# outer envelope with its own magic: requests carry the trace id to the
+# scorer, replies carry the scorer-measured forward-pass duration back.
+# Untraced payloads travel bare; ``detach_*`` pass them through untouched,
+# so mixed traffic (and old spool replays) keeps working.
+TRACE_MAGIC = b"FET1"
+SPAN_MAGIC = b"FES1"
+_TRACE_HEADER = struct.Struct("<H")  # trace-id byte length
+_SPAN_HEADER = struct.Struct("<qd")  # scorer worker id, duration seconds
+
+
+def attach_trace(payload: bytes, trace_id: str) -> bytes:
+    """Wrap a request payload with the originating trace id."""
+    encoded = trace_id.encode("ascii", "replace")
+    return b"".join((TRACE_MAGIC, _TRACE_HEADER.pack(len(encoded)), encoded, payload))
+
+
+def detach_trace(payload: bytes) -> "tuple[str | None, bytes]":
+    """Split ``(trace_id, inner payload)``; bare payloads pass through."""
+    if not payload.startswith(TRACE_MAGIC):
+        return None, payload
+    offset = len(TRACE_MAGIC)
+    (id_len,) = _TRACE_HEADER.unpack_from(payload, offset)
+    offset += _TRACE_HEADER.size
+    trace_id = payload[offset : offset + id_len].decode("ascii", "replace")
+    return trace_id, payload[offset + id_len :]
+
+
+def attach_span(payload: bytes, worker_id: int, seconds: float) -> bytes:
+    """Wrap a reply payload with the scorer-measured forward duration."""
+    return b"".join((SPAN_MAGIC, _SPAN_HEADER.pack(worker_id, seconds), payload))
+
+
+def detach_span(payload: bytes) -> "tuple[tuple[int, float] | None, bytes]":
+    """Split ``((worker_id, seconds), inner payload)``; bare passes through."""
+    if not payload.startswith(SPAN_MAGIC):
+        return None, payload
+    worker_id, seconds = _SPAN_HEADER.unpack_from(payload, len(SPAN_MAGIC))
+    return (worker_id, seconds), payload[len(SPAN_MAGIC) + _SPAN_HEADER.size :]

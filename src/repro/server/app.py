@@ -21,6 +21,12 @@ Endpoints:
   serving pointer (hot swap + registry bookkeeping); promotions arm the
   traffic shadower so live traffic guards the new version.
 - ``GET /healthz`` — liveness plus the serving version.
+- ``GET /metrics`` — Prometheus text exposition of the unified telemetry
+  registry (service, scoring, cache, shadow, sharding, experience).
+- ``GET /v1/traces`` — the recent-request trace ring and the slow-request
+  log (span trees across threads, scorer processes and the shared cache).
+- ``GET /v1/metrics/stream`` — server-sent events: periodic metric samples
+  plus lifecycle events (promotions, rollbacks, scorer respawns).
 
 Boot-time restore: given a registry (typically
 ``ModelRegistry.load_persisted(persist_dir)``), the gateway swaps the
@@ -41,6 +47,9 @@ from repro.server.handlers import GatewayHTTPServer, GatewayRequestHandler
 from repro.server.wire import WireFormatError, plan_request_from_json_dict
 from repro.service.service import PlannerService, ServiceResponse
 from repro.sql.query import Query
+from repro.telemetry.events import emit_event, get_event_bus
+from repro.telemetry.publish import GatewayTelemetry
+from repro.telemetry.trace import get_tracer, span as trace_span
 
 if TYPE_CHECKING:
     from repro.experience.loop import OnlineTrainerLoop
@@ -64,6 +73,9 @@ KNOWN_PATHS = frozenset(
         "/v1/models/promote",
         "/v1/models/rollback",
         "/v1/experience",
+        "/metrics",
+        "/v1/traces",
+        "/v1/metrics/stream",
     }
 )
 
@@ -147,6 +159,15 @@ class PlanningServer:
         self._httpd: GatewayHTTPServer | None = None
         self._serve_thread: threading.Thread | None = None
         self._closed = False
+        #: Per-gateway telemetry registry (parallel test gateways in one
+        #: process must not share counters) fed at scrape time.
+        self.telemetry = GatewayTelemetry()
+        #: The process lifecycle bus — shared, so events emitted deep in the
+        #: stack (shadow rollbacks, scorer respawns) reach this gateway's SSE
+        #: streams without any wiring.
+        self.event_bus = get_event_bus()
+        #: Set on close(); open SSE streams drain out within one poll slice.
+        self.stopping_streams = threading.Event()
         self.restored_serving_version: int | None = None
         if restore_serving:
             self._restore_serving()
@@ -243,6 +264,7 @@ class PlanningServer:
         if self._closed:
             return
         self._closed = True
+        self.stopping_streams.set()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -270,6 +292,17 @@ class PlanningServer:
         with self._http_lock:
             self._http_requests[path] = self._http_requests.get(path, 0) + 1
             self._http_status[status] = self._http_status.get(status, 0) + 1
+
+    def planner_services(self) -> "dict[str, PlannerService]":
+        """Every service this gateway answers through, keyed by planner name."""
+        with self._extra_lock:
+            extra = dict(self._extra_services)
+        return {DEFAULT_PLANNER: self.service, **extra}
+
+    def http_counters(self) -> "tuple[dict[str, int], dict[int, int]]":
+        """``(requests_by_endpoint, responses_by_status)`` snapshot copies."""
+        with self._http_lock:
+            return dict(self._http_requests), dict(self._http_status)
 
     def _resolve_query(self, name: str) -> Query:
         return self._queries[name]  # KeyError → WireFormatError upstream
@@ -335,17 +368,22 @@ class PlanningServer:
         if self.experience is None or not response.plans:
             return
         try:
-            model_version = (
-                response.stats.model_version if response.stats is not None else None
-            )
-            for plan, predicted in zip(response.plans, response.predicted_latencies):
-                self.experience.observe(
-                    request.query,
-                    plan,
-                    predicted,
-                    planner_id=response.planner_name or DEFAULT_PLANNER,
-                    model_version=model_version,
+            with trace_span("experience.record", plans=len(response.plans)):
+                model_version = (
+                    response.stats.model_version
+                    if response.stats is not None
+                    else None
                 )
+                for plan, predicted in zip(
+                    response.plans, response.predicted_latencies
+                ):
+                    self.experience.observe(
+                        request.query,
+                        plan,
+                        predicted,
+                        planner_id=response.planner_name or DEFAULT_PLANNER,
+                        model_version=model_version,
+                    )
         except Exception:  # noqa: BLE001 - learning must not fail traffic
             pass
 
@@ -470,6 +508,42 @@ class PlanningServer:
             "worker_id": self.worker_id,
         }
 
+    def telemetry_snapshot(self) -> dict:
+        """The gateway's metrics-registry snapshot, freshly published.
+
+        The dict sharded workers push to the supervisor's aggregation sink —
+        mergeable with :func:`repro.telemetry.metrics.merge_snapshots`.
+        """
+        return self.telemetry.snapshot(self)
+
+    def prometheus_text(self) -> str:
+        """``GET /metrics`` body: Prometheus text over the fresh snapshot."""
+        return self.telemetry.render(self)
+
+    def handle_traces(self) -> tuple[int, dict]:
+        """``GET /v1/traces`` — recent traces plus the slow-request log."""
+        payload = get_tracer().to_json_dict()
+        payload["worker_id"] = self.worker_id
+        return 200, payload
+
+    def stream_sample(self) -> dict:
+        """One ``event: metrics`` SSE sample: headline gauges, cheap to emit."""
+        metrics = self.service.metrics()
+        with self._http_lock:
+            http_requests = sum(self._http_requests.values())
+        return {
+            "requests": metrics.requests,
+            "cache_hit_rate": round(metrics.hit_rate, 6),
+            "pending_requests": self.service.pending_requests,
+            "mean_planning_seconds": round(metrics.mean_planning_seconds, 6),
+            "http_requests": http_requests,
+            "serving_version": (
+                self.registry.serving_version if self.registry is not None else None
+            ),
+            "shadow_armed": self.shadower.armed if self.shadower else False,
+            "worker_id": self.worker_id,
+        }
+
     def handle_experience(self) -> tuple[int, dict]:
         """``GET /v1/experience`` — the online-learning loop's own block."""
         if self.experience is None:
@@ -561,6 +635,13 @@ class PlanningServer:
                 pass
             return 409, {"error": str(error), "kind": "conflict"}
         self._retire_cached_version(displaced)
+        emit_event(
+            "promotion",
+            source="ops",
+            version=version,
+            previous_version=previous,
+            worker_id=self.worker_id,
+        )
         if propagate:
             self._publish_op({"op": "promote", "version": version})
         if self.shadower is not None:
@@ -607,6 +688,13 @@ class PlanningServer:
         except RuntimeError as error:
             return 503, {"error": str(error), "kind": "unavailable"}
         self._retire_cached_version(displaced)
+        emit_event(
+            "rollback",
+            source="ops",
+            version=snapshot.version,
+            rolled_back_from=rolled_from,
+            worker_id=self.worker_id,
+        )
         if propagate:
             self._publish_op({"op": "rollback"})
         if self.shadower is not None:

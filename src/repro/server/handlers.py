@@ -20,11 +20,15 @@ Error contract (JSON bodies everywhere, ``{"error": ..., "kind": ...}``):
 from __future__ import annotations
 
 import json
+import logging
 import socket
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Callable
+from urllib.parse import parse_qs, urlsplit
 
 from repro.server.wire import WireFormatError
+from repro.telemetry.trace import start_trace
 
 if TYPE_CHECKING:
     from repro.server.app import PlanningServer
@@ -32,6 +36,10 @@ if TYPE_CHECKING:
 #: Largest accepted request body (a structural 20-way join query is ~10 KB;
 #: this bound exists so a misbehaving client cannot buffer us to death).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Endpoints that open a request trace (the latency-critical planning path;
+#: ops and introspection endpoints stay untraced so the ring holds signal).
+TRACED_PATHS = frozenset({"/v1/plan", "/v1/plan_many"})
 
 #: ``(status, body)`` as produced by the gateway's route methods.
 RouteResult = "tuple[int, dict]"
@@ -98,11 +106,19 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
     # Routing
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/metrics/stream":
+            self._stream_metrics()
+            return
+        if path == "/metrics":
+            self._serve_prometheus()
+            return
         routes: dict[str, Callable[[], RouteResult]] = {
             "/healthz": self.gateway.handle_health,
             "/v1/metrics": self.gateway.handle_metrics,
             "/v1/models": self.gateway.handle_models,
             "/v1/experience": self.gateway.handle_experience,
+            "/v1/traces": self.gateway.handle_traces,
         }
         self._dispatch(routes)
 
@@ -151,6 +167,28 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                 path, 400, {"error": str(error), "kind": "bad_request"}, close=True
             )
             return
+        if path in TRACED_PATHS:
+            # A valid inbound X-Repro-Trace id is adopted (cross-service
+            # correlation); anything else gets a fresh id.  The id is echoed
+            # on the response so clients can look the trace up afterwards.
+            # The reply goes out only after the trace is recorded, so a
+            # client that immediately asks /v1/traces always finds its own.
+            with start_trace(
+                path, trace_id=self.headers.get("X-Repro-Trace")
+            ) as trace:
+                if trace is not None:
+                    self._trace_id = trace.trace_id
+                try:
+                    status, body = handler(payload)
+                except Exception as error:  # noqa: BLE001 - transport answers
+                    status, body = 500, {
+                        "error": f"{type(error).__name__}: {error}",
+                        "kind": "internal",
+                    }
+                if trace is not None:
+                    trace.annotate(status=status)
+            self._reply(path, status, body)
+            return
         self._run_route(path, handler, payload)
 
     def _dispatch(self, routes: "dict[str, Callable[[], RouteResult]]") -> None:
@@ -175,6 +213,7 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
 
     def _reply(self, path: str, status: int, body: dict, close: bool = False) -> None:
         """Count the exchange in the gateway metrics, then send it."""
+        self._last_status = status
         self.gateway.count_http(path, status)
         self._send(status, body, close=close)
 
@@ -215,9 +254,6 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(encoded)))
-            worker_id = getattr(self.gateway, "worker_id", None)
-            if worker_id is not None:
-                self.send_header("X-Repro-Worker", str(worker_id))
             if close:
                 # An unconsumed request body would be parsed as the next
                 # request line on this connection; tell the client and stop
@@ -229,9 +265,117 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):  # client went away
             pass
 
+    def send_response(self, code: int, message: str | None = None) -> None:
+        """Every response — including ``send_error`` paths the route methods
+        never see (malformed request line, unsupported method) — carries the
+        worker id and, on traced exchanges, the trace id."""
+        super().send_response(code, message)
+        worker_id = getattr(self.gateway, "worker_id", None)
+        if worker_id is not None:
+            self.send_header("X-Repro-Worker", str(worker_id))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header("X-Repro-Trace", trace_id)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry endpoints: Prometheus text and the SSE stream
+    # ------------------------------------------------------------------ #
+    def _serve_prometheus(self) -> None:
+        try:
+            text = self.gateway.prometheus_text()
+        except Exception as error:  # noqa: BLE001 - the transport must answer
+            self._reply(
+                "/metrics", 500,
+                {"error": f"{type(error).__name__}: {error}", "kind": "internal"},
+            )
+            return
+        self._last_status = 200
+        self.gateway.count_http("/metrics", 200)
+        encoded = text.encode("utf-8")
+        try:
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _stream_metrics(self) -> None:
+        """``GET /v1/metrics/stream``: server-sent events until disconnect.
+
+        Emits an ``event: metrics`` sample every ``interval`` seconds (query
+        parameter, default 1s) and an ``event: lifecycle`` line for every bus
+        event (promotions, rollbacks, scorer respawns) that lands in between.
+        ``max_events=N`` ends the stream after N events — deterministic for
+        tests and curl one-liners.
+        """
+        params = parse_qs(urlsplit(self.path).query)
+
+        def _param(name: str, default: float) -> float:
+            try:
+                return float(params[name][0])
+            except (KeyError, IndexError, ValueError):
+                return default
+
+        interval = min(max(_param("interval", 1.0), 0.05), 60.0)
+        max_events = int(_param("max_events", 0))
+        self._last_status = 200
+        self.gateway.count_http("/v1/metrics/stream", 200)
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.close_connection = True
+            self.end_headers()
+        except (BrokenPipeError, ConnectionResetError):
+            return
+        bus = self.gateway.event_bus
+        cursor = bus.cursor
+        sent = 0
+        try:
+            while True:
+                events, cursor = bus.since(cursor)
+                for event in events:
+                    self._write_sse("lifecycle", event.to_json_dict())
+                    sent += 1
+                    if max_events and sent >= max_events:
+                        return
+                self._write_sse("metrics", self.gateway.stream_sample())
+                sent += 1
+                if max_events and sent >= max_events:
+                    return
+                # Sleep in slices so a closing gateway releases the stream
+                # promptly instead of holding the handler thread a full tick.
+                deadline = time.monotonic() + interval
+                while time.monotonic() < deadline:
+                    if self.gateway.stopping_streams.wait(
+                        min(0.25, max(deadline - time.monotonic(), 0.0))
+                    ):
+                        return
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            return
+
+    def _write_sse(self, event: str, payload: dict) -> None:
+        data = json.dumps(payload, allow_nan=False)
+        self.wfile.write(f"event: {event}\ndata: {data}\n\n".encode("utf-8"))
+        self.wfile.flush()
+
     # ------------------------------------------------------------------ #
     # Logging
     # ------------------------------------------------------------------ #
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if getattr(self.gateway, "verbose", False):
+        if not getattr(self.gateway, "verbose", False):
+            return
+        logger = logging.getLogger("repro.gateway")
+        if logger.handlers or logging.getLogger("repro").handlers:
+            # Structured mode: one JSON object per access-log line.
+            logger.info(
+                "%s", (format % args).strip(),
+                extra={"repro_fields": {"client": self.address_string()}},
+            )
+        else:
             super().log_message(format, *args)

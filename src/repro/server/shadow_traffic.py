@@ -48,6 +48,7 @@ from repro.planning.envelope import PlanRequest
 from repro.plans.nodes import PlanNode
 from repro.search.beam import BeamSearchPlanner
 from repro.sql.query import Query
+from repro.telemetry.events import emit_event
 
 if TYPE_CHECKING:
     from repro.lifecycle.manager import ModelLifecycle
@@ -93,8 +94,10 @@ class ShadowTrafficStats:
     window_samples: int = 0
 
     def to_json_dict(self) -> dict:
-        """JSON-safe dict form (all fields are already JSON-native)."""
-        return asdict(self)
+        """JSON-safe dict form (non-finite floats use the wire spellings)."""
+        from repro.server.wire import jsonable
+
+        return jsonable(asdict(self))
 
 
 class TrafficShadower:
@@ -393,6 +396,13 @@ class TrafficShadower:
             self.service.record_promotion_rejected()
             with self._lock:
                 self._rollbacks += 1
+            emit_event(
+                "rollback",
+                source="shadow",
+                candidate_version=candidate_version,
+                baseline_version=baseline_version,
+                breach=breach,
+            )
         except LifecycleError:
             # Stale verdict (serving moved on) — nothing to roll back.
             pass

@@ -45,10 +45,13 @@ import time
 import urllib.error
 import urllib.request
 from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.service.cache import ServicePlanCache, TieredPlanCache
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots, render_snapshot
+from repro.telemetry.trace import add_span, current_trace_id, span as trace_span
 
 if TYPE_CHECKING:
     from repro.server.app import PlanningServer
@@ -69,10 +72,23 @@ _OP_INVALIDATE = 0x49  # "I" + tag     -> OK + u32 dropped
 _OP_CLEAR = 0x43  # "C"                -> OK
 _OP_STATS = 0x53  # "S"                -> OK + json
 _OP_PING = 0x3F  # "?"                 -> OK
+_OP_TRACED = 0x54  # "T" + u8 idlen + trace id + inner op -> TRACED + f64 + reply
 _REPLY_OK = b"O"
 _REPLY_HIT = b"H"
 _REPLY_MISS = b"M"
 _REPLY_ERROR = b"X"
+_REPLY_TRACED = b"T"
+
+#: Span labels for traced cache ops (client side).
+_OP_NAMES = {
+    _OP_GET: "get",
+    _OP_PUT: "put",
+    _OP_EXISTS: "exists",
+    _OP_INVALIDATE: "invalidate",
+    _OP_CLEAR: "clear",
+    _OP_STATS: "stats",
+    _OP_PING: "ping",
+}
 
 
 # ---------------------------------------------------------------------- #
@@ -263,6 +279,20 @@ class PlanCacheServer:
         if not request:
             return _REPLY_ERROR + b"empty frame"
         op, body = request[0], request[1:]
+        if op == _OP_TRACED:
+            # Traced envelope: u8 id-length + trace id + the inner request.
+            # The server times the inner op and ships the duration back; the
+            # worker grafts it into the originating request's span tree.
+            if not body or len(body) < 1 + body[0]:
+                return _REPLY_ERROR + b"malformed traced frame"
+            inner = body[1 + body[0] :]
+            started = time.perf_counter()
+            reply = self._handle(inner)
+            return (
+                _REPLY_TRACED
+                + struct.pack(">d", time.perf_counter() - started)
+                + reply
+            )
         if op == _OP_GET:
             value = self._get(body)
             return _REPLY_MISS if value is None else _REPLY_HIT + value
@@ -407,7 +437,35 @@ class SharedCacheClient:
     # Transport
     # ------------------------------------------------------------------ #
     def _request(self, payload: bytes) -> bytes | None:
-        """One framed round trip; None when the tier is down/unreachable."""
+        """One framed round trip; None when the tier is down/unreachable.
+
+        Inside a traced request the op travels in a ``_OP_TRACED`` envelope:
+        the client opens a ``cache.shared.<op>`` span around the round trip
+        and grafts the server-measured duration under it, so a trace shows
+        both the worker-side wait and the owner-process work.
+        """
+        trace_id = current_trace_id()
+        if trace_id is None:
+            return self._round_trip(payload)
+        encoded = trace_id.encode("ascii", "replace")[:255]
+        op_name = _OP_NAMES.get(payload[0], "op") if payload else "op"
+        with trace_span(f"cache.shared.{op_name}"):
+            reply = self._round_trip(
+                bytes([_OP_TRACED, len(encoded)]) + encoded + payload
+            )
+            if (
+                reply is not None
+                and reply.startswith(_REPLY_TRACED)
+                and len(reply) >= 9
+            ):
+                (seconds,) = struct.unpack_from(">d", reply, 1)
+                add_span(
+                    f"cache.server.{op_name}", seconds, process="cache-server"
+                )
+                reply = reply[9:]
+            return reply
+
+    def _round_trip(self, payload: bytes) -> bytes | None:
         with self._lock:
             if time.monotonic() < self._down_until:
                 self._skipped += 1
@@ -751,6 +809,227 @@ class OpsChannelClient:
 
 
 # ---------------------------------------------------------------------- #
+# The fleet telemetry sink
+# ---------------------------------------------------------------------- #
+class TelemetrySnapshotServer:
+    """Supervisor-owned sink for worker metrics snapshots.
+
+    The sharded workers share one HTTP port the kernel load-balances, so the
+    supervisor cannot scrape an *individual* worker over HTTP — each worker
+    instead pushes its :meth:`PlanningServer.telemetry_snapshot` here
+    (length-prefixed JSON frames ``{"worker_id": ..., "snapshot": ...}``).
+    The sink keeps the latest snapshot per worker slot; the supervisor's
+    fleet ``/metrics`` merges them with
+    :func:`repro.telemetry.metrics.merge_snapshots`.
+    """
+
+    def __init__(self, address):
+        self.address = address
+        self._lock = threading.Lock()
+        self._latest: dict[int, dict] = {}
+        self._received = 0
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._closed = False
+
+    def start(self) -> "TelemetrySnapshotServer":
+        if self._closed:
+            raise RuntimeError("telemetry sink is closed")
+        if self._listener is not None:
+            return self
+        self._listener = _make_server_socket(self.address)
+        if not isinstance(self.address, str):
+            self.address = self._listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="telemetry-sink-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        if isinstance(self.address, str):
+            try:
+                os.unlink(self.address)
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            with self._conn_lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="telemetry-sink-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                frame = _recv_frame(conn)
+                try:
+                    message = json.loads(frame.decode("utf-8"))
+                    worker_id = message["worker_id"]
+                    snapshot = message["snapshot"]
+                    if not isinstance(worker_id, int) or not isinstance(
+                        snapshot, dict
+                    ):
+                        raise ValueError("malformed snapshot frame")
+                except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+                    _send_frame(conn, _REPLY_ERROR + b"malformed snapshot")
+                    continue
+                with self._lock:
+                    self._latest[worker_id] = snapshot
+                    self._received += 1
+                _send_frame(conn, _REPLY_OK)
+        except (ConnectionError, OSError, struct.error):
+            pass
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def snapshots(self) -> "list[dict]":
+        """The latest snapshot from every worker that has pushed one."""
+        with self._lock:
+            return [self._latest[wid] for wid in sorted(self._latest)]
+
+    def worker_ids(self) -> "list[int]":
+        with self._lock:
+            return sorted(self._latest)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers_reporting": len(self._latest),
+                "snapshots_received": self._received,
+            }
+
+
+class TelemetryPushClient:
+    """Worker-side pusher: ships registry snapshots to the supervisor sink.
+
+    A background thread pushes every ``interval_seconds`` and once more on
+    close (so short-lived workers still land their final counters).  Pushes
+    are best-effort — a dead sink costs one failed syscall per tick, never a
+    failed request.
+    """
+
+    def __init__(
+        self,
+        address,
+        worker_id: int,
+        snapshot_fn: "Callable[[], dict]",
+        *,
+        interval_seconds: float = 0.25,
+        timeout: float = 2.0,
+    ):
+        self.address = address
+        self.worker_id = worker_id
+        self.snapshot_fn = snapshot_fn
+        self.interval_seconds = interval_seconds
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._pushed = 0
+        self._errors = 0
+
+    def start(self) -> "TelemetryPushClient":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="telemetry-push", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.push()
+        self.push()  # final flush on shutdown
+
+    def push(self) -> bool:
+        """One snapshot push (also called directly by tests)."""
+        try:
+            payload = json.dumps(
+                {"worker_id": self.worker_id, "snapshot": self.snapshot_fn()}
+            ).encode("utf-8")
+        except Exception:  # noqa: BLE001 - telemetry must not kill the worker
+            self._errors += 1
+            return False
+        with self._lock:
+            try:
+                if self._sock is None:
+                    self._sock = _connect(self.address, self.timeout)
+                _send_frame(self._sock, payload)
+                reply = _recv_frame(self._sock)
+                if not reply.startswith(_REPLY_OK):
+                    raise ConnectionError("sink rejected snapshot")
+                self._pushed += 1
+                return True
+            except (OSError, ConnectionError, struct.error):
+                self._errors += 1
+                if self._sock is not None:
+                    try:
+                        self._sock.close()
+                    except OSError:
+                        pass
+                    self._sock = None
+                return False
+
+    def stats(self) -> dict:
+        return {"pushed": self._pushed, "errors": self._errors}
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+
+# ---------------------------------------------------------------------- #
 # The pre-forked gateway
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -763,6 +1042,8 @@ class WorkerSpec:
         port: The concrete shared port (resolved by the supervisor).
         cache_address: Shared cache tier address, or None when disabled.
         ops_address: Ops-coherence bus address, or None when disabled.
+        telemetry_address: Supervisor metrics sink address, or None when
+            fleet telemetry is disabled.
     """
 
     worker_id: int
@@ -770,6 +1051,7 @@ class WorkerSpec:
     port: int
     cache_address: "str | tuple[str, int] | None" = None
     ops_address: "str | tuple[str, int] | None" = None
+    telemetry_address: "str | tuple[str, int] | None" = None
 
 
 #: Builds one worker's (unstarted) gateway from its spec.  Runs inside the
@@ -805,6 +1087,10 @@ def _sharded_worker_main(
     # deliver EOF to all of them.
     os.close(shutdown_write_fd)
     os.close(ready_read_fd)
+    from repro.telemetry.logging import maybe_configure_from_env, set_log_context
+
+    set_log_context(worker=spec.worker_id, process=f"gateway-worker-{spec.worker_id}")
+    maybe_configure_from_env()
     gateway = factory(spec)
     gateway.worker_id = spec.worker_id
     if spec.cache_address is not None and gateway.service.cache is not None:
@@ -825,6 +1111,11 @@ def _sharded_worker_main(
             gateway.ops_channel = ops_client
         except (OSError, ConnectionError):
             ops_client = None  # coherence degrades; serving continues
+    telemetry_client = None
+    if spec.telemetry_address is not None:
+        telemetry_client = TelemetryPushClient(
+            spec.telemetry_address, spec.worker_id, gateway.telemetry_snapshot
+        ).start()
     gateway.start(reuse_port=listen_socket is None, listen_socket=listen_socket)
     message = json.dumps(
         {"worker_id": spec.worker_id, "pid": os.getpid(), "port": gateway.port}
@@ -838,6 +1129,8 @@ def _sharded_worker_main(
         # Graceful drain: stop accepting, then give in-flight handler
         # threads a grace window to finish writing before the process exits.
         gateway.close()
+        if telemetry_client is not None:
+            telemetry_client.close()  # final snapshot push lands post-drain counts
         if ops_client is not None:
             ops_client.close()
         time.sleep(drain_grace)
@@ -865,6 +1158,10 @@ class ShardedGateway:
             through).  0 admits everything.
         ops_channel: Run the ops-coherence bus: a promote/rollback landing
             on any worker is re-broadcast so every worker applies it.
+        telemetry: Run the fleet telemetry tier: workers push their metrics
+            snapshots to a supervisor sink, and the supervisor serves the
+            merged fleet view on its own ``/metrics`` port (see
+            :attr:`metrics_port`).
         local_cache_capacity: When set, each worker's L1 is shrunk to this
             many entries (the tier holds the long tail); None keeps the
             factory-built service's own cache as the L1.
@@ -893,6 +1190,7 @@ class ShardedGateway:
         shared_cache_capacity: int = 8192,
         shared_cache_min_planning_seconds: float = 0.0,
         ops_channel: bool = True,
+        telemetry: bool = True,
         local_cache_capacity: int | None = None,
         max_respawns: int = 2,
         health_interval_seconds: float = 0.5,
@@ -916,11 +1214,16 @@ class ShardedGateway:
         self._shared_cache_capacity = shared_cache_capacity
         self._shared_cache_min_planning_seconds = shared_cache_min_planning_seconds
         self._ops_channel = ops_channel
+        self._telemetry = telemetry
         self._local_cache_capacity = local_cache_capacity
         self._reuse_port_requested = reuse_port
 
         self.cache_server: PlanCacheServer | None = None
         self.ops_server: OpsBroadcastServer | None = None
+        self.telemetry_server: TelemetrySnapshotServer | None = None
+        self._telemetry_address = None
+        self._metrics_httpd: ThreadingHTTPServer | None = None
+        self._metrics_thread: threading.Thread | None = None
         self._tempdir: str | None = None
         self._reserve_socket: socket.socket | None = None
         self._listen_socket: socket.socket | None = None
@@ -982,6 +1285,13 @@ class ShardedGateway:
                 ops_address = ("127.0.0.1", 0)
             self.ops_server = OpsBroadcastServer(ops_address).start()
             ops_address = self.ops_server.address  # resolved TCP port
+        if self._telemetry:
+            if hasattr(socket, "AF_UNIX"):
+                telemetry_address = os.path.join(self._tempdir, "telemetry.sock")
+            else:  # pragma: no cover - non-POSIX platforms
+                telemetry_address = ("127.0.0.1", 0)
+            self.telemetry_server = TelemetrySnapshotServer(telemetry_address).start()
+            self._telemetry_address = self.telemetry_server.address
 
         use_reuse_port = self._reuse_port_requested
         if use_reuse_port is None:
@@ -1015,7 +1325,57 @@ class ShardedGateway:
             target=self._supervise, name="shard-supervisor", daemon=True
         )
         self._supervisor.start()
+        if self._telemetry:
+            self._start_metrics_listener()
         return self
+
+    def _start_metrics_listener(self) -> None:
+        """Serve the fleet-merged ``/metrics`` on a supervisor-owned port.
+
+        The workers share one load-balanced port, so scraping *that* port
+        yields whichever worker the kernel picks.  The supervisor's listener
+        is the deterministic scrape target: it merges the pushed worker
+        snapshots with its own shard/tier gauges.
+        """
+        shard = self
+
+        class _FleetMetricsHandler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path not in ("/metrics", "/healthz"):
+                    self.send_error(404)
+                    return
+                try:
+                    if path == "/healthz":
+                        body = json.dumps(
+                            {"status": "ok", "role": "shard-supervisor"}
+                        ).encode("utf-8")
+                        content_type = "application/json"
+                    else:
+                        body = shard.fleet_metrics_text().encode("utf-8")
+                        content_type = "text/plain; version=0.0.4; charset=utf-8"
+                except Exception:  # noqa: BLE001 - scrape must not kill supervision
+                    self.send_error(500)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # noqa: A002 - http.server API
+                pass
+
+        httpd = ThreadingHTTPServer((self._host, 0), _FleetMetricsHandler)
+        httpd.daemon_threads = True
+        self._metrics_httpd = httpd
+        self._metrics_thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="shard-metrics",
+            daemon=True,
+        )
+        self._metrics_thread.start()
 
     def _spawn_worker(self, slot: int):
         spec = WorkerSpec(
@@ -1024,6 +1384,7 @@ class ShardedGateway:
             port=self._port,
             cache_address=self._cache_address,
             ops_address=self._ops_address,
+            telemetry_address=self._telemetry_address,
         )
         process = self._context.Process(
             target=_sharded_worker_main,
@@ -1125,10 +1486,19 @@ class ShardedGateway:
                     sock.close()
                 except OSError:
                     pass
+        if self._metrics_httpd is not None:
+            self._metrics_httpd.shutdown()
+            self._metrics_httpd.server_close()
+            if self._metrics_thread is not None:
+                self._metrics_thread.join(timeout=2.0)
         if self.cache_server is not None:
             self.cache_server.close()
         if self.ops_server is not None:
             self.ops_server.close()
+        # Closed after the workers have joined so their final snapshot
+        # pushes (post-drain counters) land in the sink first.
+        if self.telemetry_server is not None:
+            self.telemetry_server.close()
         if self._tempdir is not None:
             shutil.rmtree(self._tempdir, ignore_errors=True)
 
@@ -1197,6 +1567,109 @@ class ShardedGateway:
         """Tier-wide cache counters (None when the tier is disabled)."""
         return self.cache_server.stats() if self.cache_server is not None else None
 
+    @property
+    def metrics_port(self) -> int:
+        """Port of the supervisor's fleet ``/metrics`` listener."""
+        if self._metrics_httpd is None:
+            raise RuntimeError("fleet telemetry is disabled or not started")
+        return self._metrics_httpd.server_address[1]
+
+    @property
+    def metrics_url(self) -> str:
+        """``http://host:port/metrics`` of the fleet scrape target."""
+        return f"http://{self._host}:{self.metrics_port}/metrics"
+
+    def _supervisor_metrics_snapshot(self) -> dict:
+        """Shard-level gauges plus the tier servers' own counters.
+
+        Workers publish only their *client-side* shared-cache stats — the
+        tier server's counters appear once here, not once per worker, so
+        the fleet merge never multiplies them by ``num_workers``.
+        """
+        registry = MetricsRegistry()
+        with self._state_lock:
+            respawns = self._respawns_used
+            health_failures = self._health_failures
+        registry.gauge(
+            "repro_shard_workers_alive",
+            "Gateway worker processes currently running.",
+            aggregation="last",
+        ).set(self.alive_workers())
+        registry.gauge(
+            "repro_shard_workers_configured",
+            "Gateway worker processes the shard was started with.",
+            aggregation="last",
+        ).set(self.num_workers)
+        registry.counter(
+            "repro_shard_respawns_total", "Crashed workers the supervisor replaced."
+        ).set_total(respawns)
+        registry.gauge(
+            "repro_shard_health_failures",
+            "Consecutive failed /healthz probes.",
+            aggregation="last",
+        ).set(health_failures)
+        cache_gauges = {"size", "capacity", "versions", "hit_rate", "min_planning_seconds"}
+        cache_stats = self.shared_cache_stats()
+        if cache_stats is not None:
+            for key, value in cache_stats.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    continue
+                if key in cache_gauges:
+                    registry.gauge(
+                        f"repro_shared_cache_{key}",
+                        f"Shared plan-cache tier {key}.",
+                        aggregation="last",
+                    ).set(value)
+                else:
+                    registry.counter(
+                        f"repro_shared_cache_{key}_total",
+                        f"Shared plan-cache tier cumulative {key}.",
+                    ).set_total(value)
+        if self.ops_server is not None:
+            for key, value in self.ops_server.stats().items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    continue
+                if key == "connections":
+                    registry.gauge(
+                        "repro_ops_bus_connections",
+                        "Workers connected to the ops-coherence bus.",
+                        aggregation="last",
+                    ).set(value)
+                else:
+                    registry.counter(
+                        f"repro_ops_bus_{key}_total",
+                        f"Ops-coherence bus cumulative {key}.",
+                    ).set_total(value)
+        if self.telemetry_server is not None:
+            sink = self.telemetry_server.stats()
+            registry.gauge(
+                "repro_shard_workers_reporting",
+                "Workers with a telemetry snapshot in the sink.",
+                aggregation="last",
+            ).set(sink["workers_reporting"])
+            registry.counter(
+                "repro_shard_snapshots_received_total",
+                "Worker metrics snapshots received by the supervisor sink.",
+            ).set_total(sink["snapshots_received"])
+        return registry.snapshot()
+
+    def fleet_metrics_snapshot(self) -> dict:
+        """Fleet-merged registry snapshot: every worker plus the supervisor.
+
+        Counters and histograms sum across workers; gauges merge by their
+        declared aggregation (see
+        :func:`repro.telemetry.metrics.merge_snapshots`).
+        """
+        snapshots = (
+            self.telemetry_server.snapshots() if self.telemetry_server is not None else []
+        )
+        snapshots.append(self._supervisor_metrics_snapshot())
+        return merge_snapshots(snapshots)
+
+    def fleet_metrics_text(self) -> str:
+        """The fleet-merged snapshot in Prometheus text exposition format."""
+        return render_snapshot(self.fleet_metrics_snapshot())
+
     def stats(self) -> dict:
         """Supervisor-side view: liveness, respawns, health, tier counters."""
         with self._state_lock:
@@ -1214,5 +1687,10 @@ class ShardedGateway:
             "shared_cache": self.shared_cache_stats(),
             "ops_channel": (
                 self.ops_server.stats() if self.ops_server is not None else None
+            ),
+            "telemetry": (
+                self.telemetry_server.stats()
+                if self.telemetry_server is not None
+                else None
             ),
         }

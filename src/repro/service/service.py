@@ -34,6 +34,7 @@ report.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from collections import deque
@@ -56,6 +57,7 @@ from repro.search.beam import BeamSearchPlanner
 from repro.service.cache import CacheKey, ServicePlanCache
 from repro.service.metrics import RequestStats, ServiceMetrics
 from repro.sql.query import Query
+from repro.telemetry.trace import span as trace_span
 
 #: What the request-facing methods accept: a bare query (wrapped into a
 #: default envelope) or a full request.
@@ -347,7 +349,12 @@ class PlannerService:
                 future.set_exception(error)
             return future
         try:
-            return self._pool().submit(self._handle, envelope, time.perf_counter())
+            # Pool threads do not inherit the submitting thread's contextvars;
+            # copying the context carries the active trace span across.
+            context = contextvars.copy_context()
+            return self._pool().submit(
+                context.run, self._handle, envelope, time.perf_counter()
+            )
         except BaseException:
             # The task was never scheduled (e.g. a concurrent close()):
             # release the admission slot _admit just took.
@@ -536,6 +543,23 @@ class PlannerService:
         with self._metrics_lock:
             return list(self._log)
 
+    def drain_request_log(self, position: int) -> tuple[list[RequestStats], int]:
+        """Entries appended after absolute ``position``, plus the new position.
+
+        Consistent under the metrics lock (``_requests`` and the log advance
+        together), so incremental consumers — the telemetry histograms — see
+        each entry exactly once.  Entries older than the log's retention
+        window are silently skipped.  A position ahead of the counter (the
+        counter was reset) yields nothing and re-anchors the cursor.
+        """
+        with self._metrics_lock:
+            total = self._requests
+            new = total - position
+            if new <= 0:
+                return [], total
+            log = list(self._log)
+            return log[-new:] if new < len(log) else log, total
+
     def reset_metrics(self) -> None:
         """Zero the aggregate counters and the throughput window."""
         with self._metrics_lock:
@@ -600,25 +624,29 @@ class PlannerService:
         ``count_rejection=False`` lets :meth:`plan_many` retry under
         backpressure without publishing refusals that are never surfaced.
         """
-        self._check_open()
-        if request.expired:
-            if count_rejection:
-                self._count_rejection()
-            raise AdmissionError(
-                f"request for {request.query.name!r} arrived with an already-expired "
-                f"deadline ({request.deadline_seconds}s)",
-                reason="deadline_expired",
-            )
-        with self._metrics_lock:
-            if self.max_pending is not None and self._pending >= self.max_pending:
+        with trace_span("admission", query=request.query.name):
+            self._check_open()
+            if request.expired:
                 if count_rejection:
-                    self._rejected += 1
+                    self._count_rejection()
                 raise AdmissionError(
-                    f"service over capacity: {self._pending} pending requests >= "
-                    f"max_pending={self.max_pending}",
-                    reason="over_capacity",
+                    f"request for {request.query.name!r} arrived with an "
+                    f"already-expired deadline ({request.deadline_seconds}s)",
+                    reason="deadline_expired",
                 )
-            self._pending += 1
+            with self._metrics_lock:
+                if (
+                    self.max_pending is not None
+                    and self._pending >= self.max_pending
+                ):
+                    if count_rejection:
+                        self._rejected += 1
+                    raise AdmissionError(
+                        f"service over capacity: {self._pending} pending "
+                        f"requests >= max_pending={self.max_pending}",
+                        reason="over_capacity",
+                    )
+                self._pending += 1
 
     def _count_rejection(self) -> None:
         with self._metrics_lock:
@@ -684,7 +712,10 @@ class PlannerService:
             # The cache is consulted even when the budget drained in the
             # queue: a memoised hit costs nothing, so it still beats an empty
             # truncated answer.
-            cached = self.cache.lookup(key)
+            with trace_span("cache.lookup") as lookup_span:
+                cached = self.cache.lookup(key)
+                if lookup_span is not None:
+                    lookup_span.annotate(hit=cached is not None)
             if cached is not None:
                 return self._finish(
                     request, cached, key, submitted_at, started,
@@ -732,7 +763,8 @@ class PlannerService:
         ran_backend = True
         try:
             try:
-                result = self._backend_plan(request, deadline, pinned)
+                with trace_span("search"):
+                    result = self._backend_plan(request, deadline, pinned)
             except _BudgetDrained:
                 result, ran_backend = self._truncated_result(), False
             except AdmissionError as error:
@@ -849,7 +881,8 @@ class PlannerService:
         """One backend submit, with failure accounting and fallback."""
         backend = self._scoring
         try:
-            predictions = backend.submit(query, plans, version=network)
+            with trace_span("scoring", plans=len(plans)):
+                predictions = backend.submit(query, plans, version=network)
         except ScoringBackendError:
             self._note_backend_failure()
             raise

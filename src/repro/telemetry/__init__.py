@@ -1,0 +1,87 @@
+"""Telemetry: request tracing, unified metrics, lifecycle events, JSON logs.
+
+Three independent pillars, all stdlib-only and all safe to leave enabled:
+
+- :mod:`repro.telemetry.trace` — per-request span trees carried across the
+  gateway thread pool (contextvars), the scorer processes (wire wrapper) and
+  the shared-cache socket (traced frames); a bounded ring behind
+  ``GET /v1/traces``.
+- :mod:`repro.telemetry.metrics` — counters/gauges/histograms published at
+  scrape time from the existing per-subsystem stat blocks; Prometheus text
+  behind ``GET /metrics``; snapshots mergeable across a sharded fleet.
+- :mod:`repro.telemetry.events` — bounded lifecycle event bus (promotions,
+  rollbacks, scorer respawns) feeding the ``GET /v1/metrics/stream`` SSE
+  endpoint.
+
+:mod:`repro.telemetry.logging` adds one-line-JSON structured logging shared
+by gateway, supervisor and scorer processes.
+"""
+
+from repro.telemetry.events import Event, EventBus, emit_event, get_event_bus
+from repro.telemetry.logging import (
+    JsonLogFormatter,
+    configure_json_logging,
+    get_log_context,
+    maybe_configure_from_env,
+    set_log_context,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    render_snapshot,
+)
+from repro.telemetry.publish import GatewayTelemetry
+from repro.telemetry.trace import (
+    Span,
+    Trace,
+    Tracer,
+    add_span,
+    annotate,
+    current_trace_id,
+    enabled,
+    get_tracer,
+    new_trace_id,
+    set_enabled,
+    span,
+    start_trace,
+    valid_trace_id,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "GatewayTelemetry",
+    "Histogram",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "add_span",
+    "annotate",
+    "configure_json_logging",
+    "current_trace_id",
+    "emit_event",
+    "enabled",
+    "get_event_bus",
+    "get_log_context",
+    "get_registry",
+    "get_tracer",
+    "maybe_configure_from_env",
+    "merge_snapshots",
+    "new_trace_id",
+    "render_snapshot",
+    "set_enabled",
+    "set_log_context",
+    "span",
+    "start_trace",
+    "valid_trace_id",
+]

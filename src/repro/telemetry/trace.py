@@ -1,0 +1,313 @@
+"""Request tracing: trace ids, span trees, and the per-process trace ring.
+
+One :class:`Trace` covers one gateway request end to end.  The active span is
+carried in a :class:`contextvars.ContextVar`, so instrumentation deep inside
+the stack (admission, cache lookup, beam search, scoring batches) attaches
+spans to whatever request is running *without* threading a handle through
+every call signature.  Two propagation rules make the tree complete:
+
+- **Across threads** the context must be copied explicitly —
+  ``ThreadPoolExecutor`` worker threads do NOT inherit the submitting
+  thread's contextvars, so the service wraps pool submissions with
+  ``contextvars.copy_context().run`` (see ``PlannerService._submit``).
+- **Across processes** only the 16-hex-char ``trace_id`` travels (an HTTP
+  header, a field in the scoring wire payload, a wrapper frame on the
+  shared-cache socket).  The remote side measures its own duration and ships
+  it back in the reply; the caller *grafts* the remote span into the live
+  tree with :func:`add_span`, labelled with the remote process name.
+
+Everything is a cheap no-op when tracing is disabled (``REPRO_TELEMETRY=0``
+or :func:`set_enabled`) or when no trace is active — the service layer can
+be instrumented unconditionally and pay nothing on untraced paths.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Recent completed traces retained per process.
+DEFAULT_RING_SIZE = 256
+
+#: Worst-duration traces retained in the slow-request log.
+DEFAULT_SLOW_LOG_SIZE = 16
+
+#: Longest accepted inbound trace id (anything longer is replaced, so a
+#: hostile ``X-Repro-Trace`` header cannot bloat the ring).
+MAX_TRACE_ID_CHARS = 64
+
+_enabled = os.environ.get("REPRO_TELEMETRY", "1") != "0"
+
+
+def enabled() -> bool:
+    """Whether tracing is on for this process."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Process-wide tracing kill switch (also: env ``REPRO_TELEMETRY=0``)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def valid_trace_id(value: object) -> bool:
+    """Whether ``value`` is usable as an inbound trace id."""
+    return (
+        isinstance(value, str)
+        and 0 < len(value) <= MAX_TRACE_ID_CHARS
+        and all(ch.isalnum() or ch in "-_" for ch in value)
+    )
+
+
+class Span:
+    """One timed stage of a trace; spans nest into a tree."""
+
+    __slots__ = (
+        "trace", "name", "process", "start_offset", "duration_seconds",
+        "annotations", "children", "_started",
+    )
+
+    def __init__(self, trace: "Trace", name: str, process: str | None = None):
+        self.trace = trace
+        self.name = name
+        self.process = process
+        self._started = time.perf_counter()
+        self.start_offset = self._started - trace._t0
+        self.duration_seconds = 0.0
+        self.annotations: dict = {}
+        self.children: list[Span] = []
+
+    def finish(self) -> None:
+        self.duration_seconds = time.perf_counter() - self._started
+
+    def annotate(self, **fields) -> None:
+        self.annotations.update(fields)
+
+    def to_json_dict(self) -> dict:
+        with self.trace._lock:
+            children = list(self.children)
+        payload: dict = {
+            "name": self.name,
+            "start_ms": round(self.start_offset * 1e3, 4),
+            "duration_ms": round(self.duration_seconds * 1e3, 4),
+        }
+        if self.process is not None:
+            payload["process"] = self.process
+        if self.annotations:
+            payload["annotations"] = dict(self.annotations)
+        if children:
+            payload["spans"] = [child.to_json_dict() for child in children]
+        return payload
+
+    def span_names(self) -> list[str]:
+        """Every span name in this subtree (pre-order) — test convenience."""
+        with self.trace._lock:
+            children = list(self.children)
+        names = [self.name]
+        for child in children:
+            names.extend(child.span_names())
+        return names
+
+
+class Trace:
+    """One request's span tree, identified by a ``trace_id``."""
+
+    __slots__ = ("trace_id", "path", "started_at", "root", "_t0", "_lock")
+
+    def __init__(self, path: str, trace_id: str | None = None):
+        self.trace_id = trace_id if valid_trace_id(trace_id) else new_trace_id()
+        self.path = path
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        # Child-span appends can race (pool threads share the trace); the
+        # per-trace lock keeps the tree consistent without a global choke.
+        self._lock = threading.Lock()
+        self.root = Span(self, path)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.root.duration_seconds
+
+    def begin_span(self, parent: Span, name: str) -> Span:
+        child = Span(self, name)
+        with self._lock:
+            parent.children.append(child)
+        return child
+
+    def graft(
+        self, parent: Span, name: str, seconds: float,
+        process: str | None = None, **annotations,
+    ) -> Span:
+        """Attach an already-measured remote span under ``parent``."""
+        child = Span(self, name, process=process)
+        # The remote side measured its own duration; back-date the offset so
+        # the child renders inside the enclosing client-side span.
+        child.start_offset = max(child.start_offset - seconds, 0.0)
+        child.duration_seconds = float(seconds)
+        if annotations:
+            child.annotations.update(annotations)
+        with self._lock:
+            parent.children.append(child)
+        return child
+
+    def finish(self) -> None:
+        self.root.finish()
+
+    def annotate(self, **fields) -> None:
+        self.root.annotate(**fields)
+
+    def span_names(self) -> list[str]:
+        return self.root.span_names()
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "path": self.path,
+            "started_at": self.started_at,
+            "duration_ms": round(self.duration_seconds * 1e3, 4),
+            "root": self.root.to_json_dict(),
+        }
+
+
+#: The span the current execution context is inside (None → not traced).
+_current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+    "repro_active_span", default=None
+)
+
+
+class Tracer:
+    """Bounded ring of completed traces plus a worst-N slow-request log."""
+
+    def __init__(
+        self,
+        ring_size: int = DEFAULT_RING_SIZE,
+        slow_log_size: int = DEFAULT_SLOW_LOG_SIZE,
+    ):
+        self.ring_size = ring_size
+        self.slow_log_size = slow_log_size
+        self._lock = threading.Lock()
+        self._ring: list[Trace] = []
+        self._slow: list[Trace] = []  # kept sorted, worst first
+        self._recorded = 0
+
+    def record(self, trace: Trace) -> None:
+        with self._lock:
+            self._recorded += 1
+            self._ring.append(trace)
+            if len(self._ring) > self.ring_size:
+                del self._ring[: len(self._ring) - self.ring_size]
+            self._slow.append(trace)
+            self._slow.sort(key=lambda t: t.duration_seconds, reverse=True)
+            del self._slow[self.slow_log_size :]
+
+    def recent(self, limit: int | None = None) -> list[Trace]:
+        """Completed traces, newest first."""
+        with self._lock:
+            traces = list(reversed(self._ring))
+        return traces if limit is None else traces[:limit]
+
+    def slowest(self) -> list[Trace]:
+        """The worst-duration traces seen, worst first."""
+        with self._lock:
+            return list(self._slow)
+
+    def find(self, trace_id: str) -> Trace | None:
+        with self._lock:
+            for trace in reversed(self._ring):
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._slow.clear()
+
+    def to_json_dict(self, limit: int = 50) -> dict:
+        return {
+            "recorded": self._recorded,
+            "ring_size": self.ring_size,
+            "traces": [trace.to_json_dict() for trace in self.recent(limit)],
+            "slowest": [trace.to_json_dict() for trace in self.slowest()],
+        }
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The per-process trace ring (scorer processes get their own)."""
+    return _tracer
+
+
+# ---------------------------------------------------------------------- #
+# Instrumentation API
+# ---------------------------------------------------------------------- #
+@contextmanager
+def start_trace(path: str, trace_id: str | None = None) -> Iterator[Trace | None]:
+    """Open a trace for one request; records it into the ring on exit.
+
+    Yields None (and costs nothing downstream) when tracing is disabled.
+    """
+    if not _enabled:
+        yield None
+        return
+    trace = Trace(path, trace_id=trace_id)
+    token = _current.set(trace.root)
+    try:
+        yield trace
+    finally:
+        _current.reset(token)
+        trace.finish()
+        _tracer.record(trace)
+
+
+@contextmanager
+def span(name: str, **annotations) -> Iterator[Span | None]:
+    """Open a child span under the active one; no-op when untraced."""
+    parent = _current.get()
+    if parent is None:
+        yield None
+        return
+    child = parent.trace.begin_span(parent, name)
+    if annotations:
+        child.annotations.update(annotations)
+    token = _current.set(child)
+    try:
+        yield child
+    finally:
+        _current.reset(token)
+        child.finish()
+
+
+def add_span(
+    name: str, seconds: float, process: str | None = None, **annotations
+) -> None:
+    """Graft a remotely-measured span under the active span (no-op untraced)."""
+    parent = _current.get()
+    if parent is None:
+        return
+    parent.trace.graft(parent, name, seconds, process=process, **annotations)
+
+
+def annotate(**fields) -> None:
+    """Attach fields to the active span (no-op when untraced)."""
+    current = _current.get()
+    if current is not None:
+        current.annotate(**fields)
+
+
+def current_trace_id() -> str | None:
+    """The active request's trace id, if any."""
+    current = _current.get()
+    return None if current is None else current.trace.trace_id

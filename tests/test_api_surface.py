@@ -30,6 +30,7 @@ EXPECTED_API = sorted(
         "ExperimentScale",
         "InProcessBackend",
         "LifecycleError",
+        "MetricsRegistry",
         "ModelLifecycle",
         "ModelRegistry",
         "ModelSnapshot",
@@ -54,6 +55,7 @@ EXPECTED_API = sorted(
         "ShadowTrafficStats",
         "StateDictMismatchError",
         "ThreadedBatchingBackend",
+        "Tracer",
         "TrafficShadower",
         "UnknownPlannerError",
         "WireFormatError",
