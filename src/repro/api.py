@@ -61,10 +61,13 @@ from repro.planning.envelope import (
 from repro.planning.protocol import Planner, planner_version
 from repro.planning.registry import PlannerRegistry
 from repro.scoring import (
+    AutoscalerConfig,
     InProcessBackend,
+    PoolAutoscaler,
     ProcessPoolBackend,
     ScoringBackend,
     ScoringBackendError,
+    ShmRingBuffer,
     ThreadedBatchingBackend,
     make_scoring_backend,
 )
@@ -93,6 +96,7 @@ from repro.workloads.benchmark import (
 __all__ = [
     "AdmissionError",
     "AgentPlanner",
+    "AutoscalerConfig",
     "BackgroundTrainer",
     "BalsaAgent",
     "BalsaConfig",
@@ -119,6 +123,7 @@ __all__ = [
     "PlanningServer",
     "PlanRequest",
     "PlanResult",
+    "PoolAutoscaler",
     "ProcessPoolBackend",
     "PromotionDecision",
     "RandomPlanner",
@@ -129,6 +134,7 @@ __all__ = [
     "ServiceResponse",
     "ShadowEvaluator",
     "ShadowTrafficStats",
+    "ShmRingBuffer",
     "StateDictMismatchError",
     "ThreadedBatchingBackend",
     "Tracer",

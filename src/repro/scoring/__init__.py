@@ -18,6 +18,10 @@ Everything between ``BeamSearchPlanner.search(score_fn=...)`` and
   via the stateless ``ValueNetwork.from_state_dict`` contract, fed by the
   pickle-free :mod:`~repro.scoring.wire` payload format.  Breaks the GIL
   bound; hot swaps propagate by version token, never as live objects.
+  Selected as ``"process+shm"``, the same pool ships payloads zero-copy
+  through per-worker :class:`~repro.scoring.shm.ShmRingBuffer` slots,
+  adapts its forward-pass batch cap to load, and is scaled elastically by
+  a :class:`~repro.scoring.autoscale.PoolAutoscaler`.
 
 Every backend pins requests to a model version, and two versions are never
 mixed into one forward pass — the invariant the model-lifecycle hot swap
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.scoring.autoscale import AutoscalerConfig, PoolAutoscaler
 from repro.scoring.inproc import InProcessBackend
 from repro.scoring.process import ProcessPoolBackend
 from repro.scoring.protocol import (
@@ -37,6 +42,7 @@ from repro.scoring.protocol import (
     ScoringStats,
     VersionPin,
 )
+from repro.scoring.shm import ShmRingBuffer
 from repro.scoring.threaded import ThreadedBatchingBackend
 from repro.scoring.wire import pack_examples, unpack_examples
 
@@ -45,7 +51,7 @@ if TYPE_CHECKING:
 
 #: The names ``make_scoring_backend`` (and ``BalsaConfig.scoring_backend``)
 #: accept.
-BACKEND_NAMES = ("inproc", "threaded", "process")
+BACKEND_NAMES = ("inproc", "threaded", "process", "process+shm")
 
 
 def make_scoring_backend(
@@ -61,15 +67,22 @@ def make_scoring_backend(
     """Build a scoring backend by name.
 
     Args:
-        name: One of ``"inproc"``, ``"threaded"``, ``"process"``.
+        name: One of ``"inproc"``, ``"threaded"``, ``"process"``,
+            ``"process+shm"``.
         network_provider: Source of the current network for unpinned
             requests.
         featurizer: Featuriser for the submitting side (required by the
-            process backend unless every request pins a live network).
-        num_workers: Scorer processes (process backend only).
-        max_batch_size: Forward-pass size cap.
+            process backends unless every request pins a live network).
+        num_workers: Scorer processes (process backends only).  For
+            ``"process+shm"`` this is the *ceiling*: the default autoscaler
+            elastically runs 1..num_workers processes.
+        max_batch_size: Forward-pass size cap (the hard ceiling when the
+            adaptive controller is on).
         coalesce_wait_seconds: Straggler window (threaded backend only).
-        **kwargs: Forwarded to the backend constructor.
+        **kwargs: Forwarded to the backend constructor.  ``"process+shm"``
+            defaults ``use_shm``/``adaptive_batching`` on and installs an
+            :class:`AutoscalerConfig` spanning 1..``num_workers``; pass
+            ``autoscaler=None`` for a fixed-size shm pool.
     """
     if name == "inproc":
         return InProcessBackend(
@@ -86,7 +99,14 @@ def make_scoring_backend(
             coalesce_wait_seconds=coalesce_wait_seconds,
             **kwargs,
         )
-    if name == "process":
+    if name in ("process", "process+shm"):
+        if name == "process+shm":
+            kwargs.setdefault("use_shm", True)
+            kwargs.setdefault("adaptive_batching", True)
+            kwargs.setdefault(
+                "autoscaler",
+                AutoscalerConfig(min_workers=1, max_workers=max(num_workers, 1)),
+            )
         return ProcessPoolBackend(
             featurizer,
             network_provider=network_provider,
@@ -100,13 +120,16 @@ def make_scoring_backend(
 
 
 __all__ = [
+    "AutoscalerConfig",
     "BACKEND_NAMES",
     "InProcessBackend",
+    "PoolAutoscaler",
     "ProcessPoolBackend",
     "ScoringBackend",
     "ScoringBackendError",
     "ScoringBridgeStats",
     "ScoringStats",
+    "ShmRingBuffer",
     "ThreadedBatchingBackend",
     "VersionPin",
     "make_scoring_backend",

@@ -1,0 +1,185 @@
+"""Load-adaptive scorer-pool autoscaling: queue-depth EWMA with hysteresis.
+
+:class:`PoolAutoscaler` watches a :class:`~repro.scoring.process.ProcessPoolBackend`
+and scales it between ``min_workers`` and ``max_workers``.  The signal is
+the pool's in-flight queue depth *per routable worker*, smoothed with an
+EWMA so a single bursty frontier does not thrash the pool; the arrival
+rate (submits/second, also EWMA-smoothed) is tracked alongside for
+observability and scale-event context.  Three mechanisms keep decisions
+calm:
+
+- **hysteresis** — scale up only above ``high_watermark``, down only below
+  ``low_watermark``; the band between them is dead;
+- **hold counts** — the signal must sit past a watermark for
+  ``up_hold_samples`` / ``down_hold_samples`` consecutive samples (downs
+  hold much longer than ups: adding capacity late costs latency, removing
+  it early costs a re-spawn);
+- **cooldown** — at most one scale event per ``cooldown_seconds``.
+
+Scale-downs *retire* a worker (graceful drain, reaped without a crash
+count), so the pool's ``max_respawns`` crash budget composes with — rather
+than fights — elasticity: only genuine crashes spend it.  The pool emits
+``scorer_scale_up`` / ``scorer_scale_down`` on the telemetry event bus and
+the new worker/queue/ring gauges flow through ``stats()`` into the
+Prometheus registry.
+
+The decision step (:meth:`PoolAutoscaler.sample_once`) is synchronous and
+clock-injectable, so the hysteresis behaviour is unit-testable against a
+fake pool without threads, processes, or real time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class AutoscalerConfig:
+    """Knobs for :class:`PoolAutoscaler`.
+
+    Attributes:
+        min_workers: Never retire below this many routable workers.
+        max_workers: Never grow past this many routable workers.
+        interval_seconds: Sampling period of the autoscaler thread.
+        high_watermark: EWMA queue depth per worker at or above which the
+            pool wants to grow.
+        low_watermark: EWMA queue depth per worker at or below which the
+            pool wants to shrink.
+        ewma_alpha: Smoothing factor for the depth and arrival-rate EWMAs.
+        up_hold_samples: Consecutive above-watermark samples before a
+            scale-up fires.
+        down_hold_samples: Consecutive below-watermark samples before a
+            scale-down fires (deliberately much larger than the up hold).
+        cooldown_seconds: Minimum spacing between any two scale events.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    interval_seconds: float = 0.05
+    high_watermark: float = 2.0
+    low_watermark: float = 0.25
+    ewma_alpha: float = 0.5
+    up_hold_samples: int = 2
+    down_hold_samples: int = 20
+    cooldown_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if not self.low_watermark < self.high_watermark:
+            raise ValueError("low_watermark must be below high_watermark")
+        if self.up_hold_samples < 1 or self.down_hold_samples < 1:
+            raise ValueError("hold sample counts must be >= 1")
+
+
+class PoolAutoscaler:
+    """Scales a scorer pool on observed queue depth and arrival rate.
+
+    Args:
+        pool: The pool to steer; needs ``queue_depth()``,
+            ``submitted_count()``, ``active_workers()``, ``scale_up()`` and
+            ``scale_down()`` (duck-typed so tests drive a fake).
+        config: The :class:`AutoscalerConfig` knobs.
+        clock: Monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(self, pool, config: AutoscalerConfig, *, clock=time.monotonic):
+        self._pool = pool
+        self.config = config
+        self._clock = clock
+        self.depth_ewma = 0.0
+        self.arrival_rate_ewma = 0.0
+        self._last_time: float | None = None
+        self._last_submitted: int | None = None
+        self._last_scale: float | None = None
+        self._up_streak = 0
+        self._down_streak = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def sample_once(self, now: float | None = None) -> str | None:
+        """Fold one observation into the controller; maybe scale.
+
+        Returns ``"up"`` / ``"down"`` when a scale event fired this sample,
+        else ``None``.
+        """
+        config = self.config
+        now = self._clock() if now is None else now
+        depth = self._pool.queue_depth()
+        submitted = self._pool.submitted_count()
+        if self._last_time is not None and now > self._last_time:
+            rate = (submitted - self._last_submitted) / (now - self._last_time)
+            self.arrival_rate_ewma += config.ewma_alpha * (
+                rate - self.arrival_rate_ewma
+            )
+        self._last_time = now
+        self._last_submitted = submitted
+        self.depth_ewma += config.ewma_alpha * (depth - self.depth_ewma)
+
+        workers = max(self._pool.active_workers(), 1)
+        per_worker = self.depth_ewma / workers
+        if per_worker >= config.high_watermark:
+            self._up_streak += 1
+            self._down_streak = 0
+        elif per_worker <= config.low_watermark:
+            self._down_streak += 1
+            self._up_streak = 0
+        else:
+            self._up_streak = 0
+            self._down_streak = 0
+
+        cooled = (
+            self._last_scale is None
+            or now - self._last_scale >= config.cooldown_seconds
+        )
+        if (
+            self._up_streak >= config.up_hold_samples
+            and workers < config.max_workers
+            and cooled
+            and self._pool.scale_up()
+        ):
+            self._last_scale = now
+            self._up_streak = 0
+            return "up"
+        if (
+            self._down_streak >= config.down_hold_samples
+            and workers > config.min_workers
+            and cooled
+            and self._pool.scale_down()
+        ):
+            self._last_scale = now
+            self._down_streak = 0
+            return "down"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Background thread
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the sampling thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="scoring-autoscaler", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.interval_seconds):
+            try:
+                self.sample_once()
+            except Exception:  # noqa: BLE001 - the loop must survive
+                # A failed sample (pool mid-close, transient spawn error)
+                # must not kill the controller.
+                pass
+
+    def stop(self) -> None:
+        """Stop the sampling thread and wait for it to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

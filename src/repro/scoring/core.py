@@ -33,17 +33,72 @@ if TYPE_CHECKING:
 class ScoringCore:
     """Chunked ``predict_examples`` plus thread-safe coalescing counters.
 
+    With ``adaptive=True`` the fixed forward-pass cap becomes a controller:
+    the cap starts small (latency-friendly), doubles while the observed
+    queue depth's EWMA sits above ``grow_at`` (amortise fixed per-pass cost
+    under load), and halves back toward ``min_batch_size`` when the queue
+    drains below ``shrink_at``.  Backends report their queue depth through
+    :meth:`observe_load` on each submit and chunk by :attr:`batch_cap`.
+
     Args:
-        max_batch_size: Upper bound on examples per forward pass; larger
-            inputs are chunked.
+        max_batch_size: Hard upper bound on examples per forward pass;
+            larger inputs are chunked.  The fixed cap when not adaptive.
+        adaptive: Enable the load-adaptive batch-size controller.
+        min_batch_size: Adaptive floor (default ``min(32, max_batch_size)``).
+        load_ewma_alpha: Smoothing factor for the queue-depth EWMA.
+        grow_at: EWMA depth at or above which the cap doubles.
+        shrink_at: EWMA depth at or below which the cap halves.
     """
 
-    def __init__(self, max_batch_size: int = 512):
+    def __init__(
+        self,
+        max_batch_size: int = 512,
+        *,
+        adaptive: bool = False,
+        min_batch_size: int | None = None,
+        load_ewma_alpha: float = 0.4,
+        grow_at: float = 2.0,
+        shrink_at: float = 0.5,
+    ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.max_batch_size = max_batch_size
+        self.adaptive = adaptive
+        self.min_batch_size = max(1, min(min_batch_size or min(32, max_batch_size),
+                                         max_batch_size))
+        self._load_alpha = load_ewma_alpha
+        self._grow_at = grow_at
+        self._shrink_at = shrink_at
+        self._load_ewma = 0.0
+        self._cap = self.min_batch_size if adaptive else max_batch_size
         self._lock = threading.Lock()
         self._stats = ScoringBridgeStats()
+        if adaptive:
+            self._stats.adaptive_batch_cap = self._cap
+
+    @property
+    def batch_cap(self) -> int:
+        """The current forward-pass cap (== ``max_batch_size`` unless
+        adaptive)."""
+        with self._lock:
+            return self._cap
+
+    def observe_load(self, queue_depth: int) -> int:
+        """Fold one queue-depth observation into the adaptive controller.
+
+        Returns the cap to use for the batch being dispatched.  A no-op
+        (returning the fixed cap) when the controller is off.
+        """
+        with self._lock:
+            if not self.adaptive:
+                return self._cap
+            self._load_ewma += self._load_alpha * (queue_depth - self._load_ewma)
+            if self._load_ewma >= self._grow_at and self._cap < self.max_batch_size:
+                self._cap = min(self._cap * 2, self.max_batch_size)
+            elif self._load_ewma <= self._shrink_at and self._cap > self.min_batch_size:
+                self._cap = max(self._cap // 2, self.min_batch_size)
+            self._stats.adaptive_batch_cap = self._cap
+            return self._cap
 
     def predict_examples(
         self,
@@ -61,10 +116,11 @@ class ScoringCore:
             examples: Pre-featurised (query, plan) pairs.
             requests: How many submit requests this input coalesces.
         """
+        cap = self.batch_cap
         outputs: list[np.ndarray] = []
         chunk_sizes: list[int] = []
-        for start in range(0, len(examples), self.max_batch_size):
-            chunk = examples[start : start + self.max_batch_size]
+        for start in range(0, len(examples), cap):
+            chunk = examples[start : start + cap]
             outputs.append(network.predict_examples(list(chunk)))
             chunk_sizes.append(len(chunk))
         self.record(requests, len(examples), chunk_sizes)
@@ -100,6 +156,29 @@ class ScoringCore:
         """Count one crashed scorer process replaced with a fresh one."""
         with self._lock:
             self._stats.workers_respawned += 1
+
+    def count_shm_batch(self) -> None:
+        """Count one payload shipped zero-copy through a shared-memory slot."""
+        with self._lock:
+            self._stats.shm_batches += 1
+
+    def count_shm_fallback(self) -> None:
+        """Count one shm-eligible payload that took the queue path instead."""
+        with self._lock:
+            self._stats.shm_fallbacks += 1
+
+    def count_reclaimed(self, slots: int = 1) -> None:
+        """Count ring-slot leases freed after a scorer process died."""
+        with self._lock:
+            self._stats.leases_reclaimed += slots
+
+    def count_scale(self, up: bool) -> None:
+        """Count one autoscaler decision (scale-up or scale-down)."""
+        with self._lock:
+            if up:
+                self._stats.scale_ups += 1
+            else:
+                self._stats.scale_downs += 1
 
     def snapshot(self) -> ScoringBridgeStats:
         """A consistent copy of the counters.

@@ -1,0 +1,218 @@
+"""Shared-memory slot rings: zero-copy payload transport with crash leases.
+
+The process scoring backend's queue path copies every featurised payload
+twice — once into the ``multiprocessing`` pipe, once out of it.
+:class:`ShmRingBuffer` removes both copies: submitters pack the
+:mod:`~repro.scoring.wire` feature block *in place* into a fixed slot of a
+``multiprocessing.shared_memory`` segment, the scorer process decodes it
+with ``np.frombuffer`` views straight off the mapping, and predictions
+travel back the same way through a result ring.  Only a few-word control
+tuple (request id, slot index, byte length) still crosses the queue.
+
+Slots move through a tiny lease state machine::
+
+    FREE --acquire--> WRITING --commit--> READY --begin--> PROCESSING
+      ^                  |                   |                  |
+      +----release-------+-------------------+------------------+
+
+Every transition has exactly one legal writer (the allocator owns
+``WRITING``, the consumer owns ``PROCESSING``), so plain byte stores are
+safe without cross-process locks.  The states double as *leases*: when a
+scorer process dies mid-batch, the supervisor calls :meth:`reclaim` with
+the dead side's states — ``READY``/``PROCESSING`` for its request ring —
+and the slots return to ``FREE`` without ever being handed to two owners
+at once.  Slots a *live* submitter is still packing (``WRITING``) are
+deliberately left alone; their owner releases them itself when it notices
+the worker died.
+
+Rings are single-consumer by construction (one ring per scorer process),
+which keeps the allocator lock process-local: submitters contend on a
+plain ``threading.Lock`` in the parent, the scorer allocates result slots
+from its own single thread.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from multiprocessing import shared_memory
+
+#: Segment tag checked on attach (bump on layout changes).
+RING_MAGIC = b"SRB1"
+_RING_HEADER = struct.Struct("<4sIQ")  # magic, num_slots, slot_bytes
+_SLOT_HEADER = struct.Struct("<B7xQ")  # state byte, pad, payload length
+
+#: Slot lease states (one legal writer per transition; see module docstring).
+SLOT_FREE = 0
+SLOT_WRITING = 1
+SLOT_READY = 2
+SLOT_PROCESSING = 3
+
+
+class ShmRingBuffer:
+    """A fixed-slot ring over one shared-memory segment.
+
+    Args:
+        name: Existing segment to attach to (consumer side).  ``None``
+            creates a fresh segment with a kernel-assigned name.
+        create: True to create (and own) the segment; the creator is the
+            only side that may :meth:`unlink` it.
+        num_slots: Payload slots in the ring (creation only).
+        slot_bytes: Capacity of each slot; payloads larger than this must
+            take the caller's fallback path (creation only).
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        *,
+        create: bool = False,
+        num_slots: int = 8,
+        slot_bytes: int = 1 << 20,
+    ):
+        self._owner = create
+        self._closed = False
+        self._alloc_lock = threading.Lock()
+        self._next_slot = 0
+        if create:
+            if num_slots < 1:
+                raise ValueError("num_slots must be >= 1")
+            if slot_bytes < _SLOT_HEADER.size:
+                raise ValueError("slot_bytes is too small to hold any payload")
+            size = _RING_HEADER.size + num_slots * (_SLOT_HEADER.size + slot_bytes)
+            self._shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+            self.num_slots = num_slots
+            self.slot_bytes = slot_bytes
+            _RING_HEADER.pack_into(self._shm.buf, 0, RING_MAGIC, num_slots, slot_bytes)
+            for slot in range(num_slots):
+                _SLOT_HEADER.pack_into(self._shm.buf, self._slot_offset(slot),
+                                       SLOT_FREE, 0)
+        else:
+            if name is None:
+                raise ValueError("attaching requires the segment name")
+            # Note: Python 3.11's SharedMemory registers the segment with
+            # the resource tracker even when merely *attaching*.  Scorer
+            # processes are spawned children sharing the parent's tracker,
+            # where the duplicate registration is a set no-op — the parent's
+            # unlink() still unregisters exactly once.  (Un-registering here
+            # would cancel the *parent's* registration instead.)
+            self._shm = shared_memory.SharedMemory(name=name, create=False)
+            magic, self.num_slots, self.slot_bytes = _RING_HEADER.unpack_from(
+                self._shm.buf, 0
+            )
+            if magic != RING_MAGIC:
+                self._shm.close()
+                raise ValueError(f"segment {name!r} is not a {RING_MAGIC!r} ring")
+
+    @property
+    def name(self) -> str:
+        """The segment name consumers attach with."""
+        return self._shm.name
+
+    def _slot_offset(self, slot: int) -> int:
+        return _RING_HEADER.size + slot * (_SLOT_HEADER.size + self.slot_bytes)
+
+    def state(self, slot: int) -> int:
+        """The lease state byte of ``slot``."""
+        return self._shm.buf[self._slot_offset(slot)]
+
+    # ------------------------------------------------------------------ #
+    # Lease transitions
+    # ------------------------------------------------------------------ #
+    def acquire(self) -> int | None:
+        """Claim a FREE slot for writing; ``None`` when the ring is full.
+
+        Scans round-robin from a hint so consecutive acquisitions spread
+        across the ring (and naturally wrap).  Allocation is serialised by
+        a process-local lock — each ring has exactly one allocating
+        process, so no cross-process lock is needed.
+        """
+        with self._alloc_lock:
+            for step in range(self.num_slots):
+                slot = (self._next_slot + step) % self.num_slots
+                offset = self._slot_offset(slot)
+                if self._shm.buf[offset] == SLOT_FREE:
+                    self._shm.buf[offset] = SLOT_WRITING
+                    self._next_slot = (slot + 1) % self.num_slots
+                    return slot
+        return None
+
+    def commit(self, slot: int, length: int) -> None:
+        """Publish ``length`` payload bytes written into ``slot``.
+
+        The length store precedes the READY state store, so a consumer
+        that observes READY always reads a complete header.
+        """
+        if not 0 <= length <= self.slot_bytes:
+            raise ValueError(f"payload of {length} bytes exceeds slot capacity")
+        offset = self._slot_offset(slot)
+        _SLOT_HEADER.pack_into(self._shm.buf, offset, SLOT_WRITING, length)
+        self._shm.buf[offset] = SLOT_READY
+
+    def begin(self, slot: int) -> int | None:
+        """Take the consumer lease on a READY ``slot``; returns its length.
+
+        Returns ``None`` when the slot is not READY — the lease was
+        reclaimed out from under a stale control message.
+        """
+        offset = self._slot_offset(slot)
+        state, length = _SLOT_HEADER.unpack_from(self._shm.buf, offset)
+        if state != SLOT_READY:
+            return None
+        self._shm.buf[offset] = SLOT_PROCESSING
+        return length
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to FREE (any holder, any state)."""
+        self._shm.buf[self._slot_offset(slot)] = SLOT_FREE
+
+    def payload_view(self, slot: int) -> memoryview:
+        """A zero-copy writable view of ``slot``'s payload bytes."""
+        start = self._slot_offset(slot) + _SLOT_HEADER.size
+        return self._shm.buf[start : start + self.slot_bytes]
+
+    def reclaim(self, states: tuple[int, ...] = (SLOT_READY, SLOT_PROCESSING)) -> int:
+        """Free every slot whose lease is in ``states``; returns the count.
+
+        Called by the pool supervisor after a consumer process dies.  The
+        default reclaims only the *dead side's* states: ``WRITING`` slots
+        belong to live submitter threads, which release them themselves.
+        """
+        reclaimed = 0
+        for slot in range(self.num_slots):
+            offset = self._slot_offset(slot)
+            if self._shm.buf[offset] in states:
+                self._shm.buf[offset] = SLOT_FREE
+                reclaimed += 1
+        return reclaimed
+
+    def occupancy(self) -> float:
+        """Fraction of slots currently leased (not FREE)."""
+        held = sum(
+            1
+            for slot in range(self.num_slots)
+            if self._shm.buf[self._slot_offset(slot)] != SLOT_FREE
+        )
+        return held / self.num_slots
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, after every consumer closed)."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except OSError:
+                pass

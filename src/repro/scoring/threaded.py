@@ -65,6 +65,9 @@ class ThreadedBatchingBackend:
         coalesce_wait_seconds: How long the scoring thread lingers for
             stragglers after receiving a request before running the batch.
             Zero scores whatever has already queued without waiting.
+        adaptive_batching: Enable :class:`ScoringCore`'s load-adaptive
+            batch cap: the coalescing budget grows while the request queue
+            is deep and shrinks back when it drains.
     """
 
     def __init__(
@@ -75,9 +78,10 @@ class ThreadedBatchingBackend:
         featurizer=None,
         max_batch_size: int = 512,
         coalesce_wait_seconds: float = 0.001,
+        adaptive_batching: bool = False,
     ):
         self._resolver = NetworkResolver(network_provider, registry, featurizer)
-        self._core = ScoringCore(max_batch_size)
+        self._core = ScoringCore(max_batch_size, adaptive=adaptive_batching)
         self.coalesce_wait_seconds = coalesce_wait_seconds
         self._queue: queue.Queue = queue.Queue()
         self._submit_lock = threading.Lock()
@@ -115,6 +119,7 @@ class ThreadedBatchingBackend:
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("scoring backend is closed")
+            self._core.observe_load(self._queue.qsize())
             self._queue.put(request)
         request.done.wait()
         if request.error is not None:
@@ -159,7 +164,8 @@ class ThreadedBatchingBackend:
         """
         deadline = time.perf_counter() + self.coalesce_wait_seconds
         saw_sentinel = False
-        while sum(len(r.examples) for r in requests) < self.max_batch_size:
+        budget = self._core.batch_cap
+        while sum(len(r.examples) for r in requests) < budget:
             remaining = deadline - time.perf_counter()
             try:
                 if remaining > 0:

@@ -487,6 +487,9 @@ def service_metrics_from_json_dict(payload: object) -> "ServiceMetrics":
     metrics.scoring = load(
         ScoringBridgeStats, payload.get("scoring", {}), "service metrics.scoring"
     )
+    # JSON has no tuples; restore the per-worker gauge sequences faithfully.
+    metrics.scoring.worker_queue_depths = tuple(metrics.scoring.worker_queue_depths)
+    metrics.scoring.worker_inflight = tuple(metrics.scoring.worker_inflight)
     return metrics
 
 

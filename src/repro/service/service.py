@@ -172,10 +172,12 @@ class PlannerService:
             (forward passes on the planning thread), ``"threaded"`` (one
             coalescing scoring thread), ``"process"`` (a pool of
             ``max_workers`` scorer processes loading published snapshots —
-            breaks the GIL bound), or a ready
-            :class:`~repro.scoring.protocol.ScoringBackend` instance (closed
-            with the service).  ``None`` keeps the historical mapping from
-            ``coalesce_scoring``.
+            breaks the GIL bound), ``"process+shm"`` (the same pool with
+            zero-copy shared-memory payload rings, adaptive batch sizing,
+            and an autoscaler running 1..``max_workers`` processes), or a
+            ready :class:`~repro.scoring.protocol.ScoringBackend` instance
+            (closed with the service).  ``None`` keeps the historical
+            mapping from ``coalesce_scoring``.
         max_backend_failures: Consecutive
             :class:`~repro.scoring.protocol.ScoringBackendError` failures
             tolerated before the service abandons the configured backend and
@@ -522,9 +524,17 @@ class PlannerService:
             retired = self._retired_scoring
             if retired is not None:
                 # Fold in the pre-fallback history (totals add, the max-batch
-                # watermark maxes), so the merged report stays consistent with
-                # the request log across the backend switch.
+                # watermark maxes, point-in-time gauges stay the live
+                # backend's), so the merged report stays consistent with the
+                # request log across the backend switch.
+                gauges = {
+                    "workers_current", "queue_depth", "ring_occupancy",
+                    "adaptive_batch_cap", "worker_queue_depths",
+                    "worker_inflight",
+                }
                 for field in dataclass_fields(type(report.scoring)):
+                    if field.name in gauges:
+                        continue
                     merge = max if field.name == "max_batch_examples" else (
                         lambda a, b: a + b
                     )

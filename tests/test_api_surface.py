@@ -17,6 +17,7 @@ EXPECTED_API = sorted(
     [
         "AdmissionError",
         "AgentPlanner",
+        "AutoscalerConfig",
         "BackgroundTrainer",
         "BalsaAgent",
         "BalsaConfig",
@@ -43,6 +44,7 @@ EXPECTED_API = sorted(
         "PlanningServer",
         "PlanRequest",
         "PlanResult",
+        "PoolAutoscaler",
         "ProcessPoolBackend",
         "PromotionDecision",
         "RandomPlanner",
@@ -53,6 +55,7 @@ EXPECTED_API = sorted(
         "ServiceResponse",
         "ShadowEvaluator",
         "ShadowTrafficStats",
+        "ShmRingBuffer",
         "StateDictMismatchError",
         "ThreadedBatchingBackend",
         "Tracer",
@@ -139,6 +142,10 @@ def test_scoring_module_surface():
     assert api.ScoringBackend is scoring.ScoringBackend
     assert api.ScoringBackendError is scoring.ScoringBackendError
     assert api.ProcessPoolBackend is scoring.ProcessPoolBackend
+    assert api.ShmRingBuffer is scoring.ShmRingBuffer
+    assert api.PoolAutoscaler is scoring.PoolAutoscaler
+    assert api.AutoscalerConfig is scoring.AutoscalerConfig
+    assert "process+shm" in scoring.BACKEND_NAMES
     # The historical bridge is the threaded backend, same counters type.
     from repro.service.batching import BatchedScoringBridge, ScoringBridgeStats
 
