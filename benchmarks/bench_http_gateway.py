@@ -40,6 +40,7 @@ from repro.search.beam import BeamSearchPlanner
 from repro.server import PlanningServer
 from repro.server.sharding import ShardedGateway, WorkerSpec
 from repro.service.service import PlannerService
+from repro.telemetry import SamplingProfiler
 from repro.telemetry import enabled as telemetry_enabled
 from repro.telemetry import set_enabled, start_trace
 from repro.workloads.benchmark import make_job_benchmark
@@ -166,7 +167,9 @@ def _drive(
 def _run_gateway_load() -> dict:
     _, queries, network = _make_workload()
     service = PlannerService(network, planner=_small_planner(), max_workers=4)
-    gateway = PlanningServer(service, queries=queries).start()
+    # The gateway's own profiler acquisition is disabled so the dedicated
+    # profiler-overhead measurement below controls exactly one sampler.
+    gateway = PlanningServer(service, queries=queries, profile=False).start()
     try:
         host, port = "127.0.0.1", gateway.port
 
@@ -219,6 +222,28 @@ def _run_gateway_load() -> dict:
         finally:
             set_enabled(was_enabled)
 
+        # Continuous-profiler overhead: the identical warm in-process stream
+        # with the sampling profiler running vs stopped (same measurement
+        # shape as the telemetry overhead above — the delta is expressed
+        # against the served warm p50 the watchtower actually profiles).
+        def plain_pass() -> list[float]:
+            latencies: list[float] = []
+            for index in range(NUM_CLIENTS * REQUESTS_PER_CLIENT):
+                query = queries[index % len(queries)]
+                started = time.perf_counter()
+                service.plan(PlanRequest(query=query, k=2))
+                latencies.append(time.perf_counter() - started)
+            return latencies
+
+        profiler = SamplingProfiler(process="bench-gateway")
+        profiler.start()
+        try:
+            profiler_on = plain_pass()
+        finally:
+            profiler.stop()
+        profiler_samples = profiler.snapshot()["samples"]
+        profiler_off = plain_pass()
+
         metrics = service.metrics()
     finally:
         gateway.close()
@@ -235,6 +260,12 @@ def _run_gateway_load() -> dict:
     # noise, not the cost a caller sees.
     overhead_ms = max(0.0, (on_p50 - off_p50) * 1e3)
     overhead_pct = overhead_ms / max(http_p50 * 1e3, 1e-9) * 100.0
+    prof_on_p50 = _percentile(profiler_on, 0.50)
+    prof_off_p50 = _percentile(profiler_off, 0.50)
+    profiler_overhead_ms = max(0.0, (prof_on_p50 - prof_off_p50) * 1e3)
+    profiler_overhead_pct = (
+        profiler_overhead_ms / max(http_p50 * 1e3, 1e-9) * 100.0
+    )
     return {
         "queries": len(queries),
         "clients": NUM_CLIENTS,
@@ -252,6 +283,11 @@ def _run_gateway_load() -> dict:
         "telemetry_off_p50_ms": off_p50 * 1e3,
         "telemetry_overhead_ms": overhead_ms,
         "telemetry_overhead_pct": overhead_pct,
+        "profiler_on_p50_ms": prof_on_p50 * 1e3,
+        "profiler_off_p50_ms": prof_off_p50 * 1e3,
+        "profiler_overhead_ms": profiler_overhead_ms,
+        "profiler_overhead_pct": profiler_overhead_pct,
+        "profiler_samples": profiler_samples,
     }
 
 
@@ -275,6 +311,13 @@ def bench_http_gateway(benchmark):
         f"disabled p50 {result['telemetry_off_p50_ms']:.2f}ms "
         f"(+{result['telemetry_overhead_ms']:.3f}ms, "
         f"{result['telemetry_overhead_pct']:.2f}% of the served warm p50)"
+    )
+    print(
+        f"profiler: sampled p50 {result['profiler_on_p50_ms']:.2f}ms vs "
+        f"unsampled p50 {result['profiler_off_p50_ms']:.2f}ms over "
+        f"{result['profiler_samples']:.0f} samples "
+        f"(+{result['profiler_overhead_ms']:.3f}ms, "
+        f"{result['profiler_overhead_pct']:.2f}% of the served warm p50)"
     )
     assert result["failed_requests"] == 0
     for key, value in result.items():

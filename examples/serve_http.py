@@ -117,6 +117,27 @@ def smoke(base_url: str, query_names: list[str]) -> None:
         f"GET /v1/traces -> {status}: {body['recorded']} traces recorded, "
         f"{len(body['traces'])} in the ring"
     )
+    if body["traces"]:
+        trace_id = body["traces"][0]["trace_id"]
+        status, single = http("GET", f"{base_url}/v1/traces/{trace_id}")
+        print(
+            f"GET /v1/traces/{trace_id} -> {status}: "
+            f"{single['trace']['path']} took {single['trace']['duration_ms']}ms"
+        )
+
+    status, body = http("GET", f"{base_url}/v1/alerts")
+    print(
+        f"GET /v1/alerts -> {status}: {len(body['objectives'])} SLOs watched, "
+        f"{len(body['firing'])} firing, {body['evaluations']} evaluations"
+    )
+
+    status, body = http("GET", f"{base_url}/v1/profile")
+    profile = body["profile"]
+    print(
+        f"GET /v1/profile -> {status}: {profile.get('samples', 0)} stack "
+        f"samples, {len(profile.get('stacks', {}))} distinct stacks, "
+        f"flamegraph root value {body['flamegraph']['value']}"
+    )
 
     status, body = http("GET", f"{base_url}/v1/models")
     print(
@@ -283,6 +304,16 @@ def dump_traces(base_url: str, path: Path) -> None:
     print(f"wrote {len(body['traces'])} sample traces to {path}")
 
 
+def dump_profile(base_url: str, path: Path) -> None:
+    """Write the gateway's ``/v1/profile`` payload to ``path`` (CI artifact,
+    ``flamegraph`` key loads directly into d3-flame-graph / speedscope)."""
+    status, body = http("GET", f"{base_url}/v1/profile")
+    assert status == 200, f"/v1/profile returned {status}"
+    path.write_text(json.dumps(body, indent=2) + "\n", encoding="utf-8")
+    samples = body.get("profile", {}).get("samples", 0)
+    print(f"wrote flamegraph profile ({samples} samples) to {path}")
+
+
 def run_sharded(args, benchmark, network, planner, queries) -> None:
     """Boot the pre-fork sharded gateway and (optionally) smoke it."""
 
@@ -345,6 +376,11 @@ def run_sharded(args, benchmark, network, planner, queries) -> None:
             )
             if args.traces_out is not None:
                 dump_traces(gateway.base_url, args.traces_out)
+            if args.profile_out is not None:
+                # The supervisor's fleet endpoint merges every worker's
+                # pushed profile (workers report on the telemetry interval).
+                fleet_base = gateway.metrics_url.rsplit("/metrics", 1)[0]
+                dump_profile(fleet_base, args.profile_out)
             print("smoke: every endpoint answered from every worker")
         else:
             while True:
@@ -389,6 +425,12 @@ def main() -> None:
         "--traces-out", type=Path, default=None,
         help="with --smoke: write the gateway's /v1/traces payload (sample "
         "request traces) to this JSON file before exiting",
+    )
+    parser.add_argument(
+        "--profile-out", type=Path, default=None,
+        help="with --smoke: write the gateway's /v1/profile payload "
+        "(flamegraph-ready merged stack samples) to this JSON file before "
+        "exiting",
     )
     args = parser.parse_args()
 
@@ -512,6 +554,8 @@ def main() -> None:
                 )
             if args.traces_out is not None:
                 dump_traces(gateway.base_url, args.traces_out)
+            if args.profile_out is not None:
+                dump_profile(gateway.base_url, args.profile_out)
             print("smoke: every endpoint answered")
         else:
             while True:

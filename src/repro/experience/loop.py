@@ -113,6 +113,8 @@ class OnlineTrainerLoop:
         self._thread: threading.Thread | None = None
         self._closed = False
 
+        self._promotions_paused = False
+        self._pause_reason: str | None = None
         self._new_since_round = 0
         self._window_costs: list[float] = []
         self._last_round_at = 0.0
@@ -242,10 +244,38 @@ class OnlineTrainerLoop:
 
     def _round_due(self) -> bool:
         with self._lock:
+            if self._promotions_paused:
+                # The watchtower says the error budget is burning: keep
+                # ingesting experience, but do not promote into a fire.
+                return False
             if self._new_since_round < self.min_new_tuples:
                 return False
             since = time.monotonic() - self._last_round_at
             return since >= self.min_round_interval_seconds
+
+    def set_promotions_paused(self, paused: bool, reason: str | None = None) -> None:
+        """Gate autonomous rounds (the watchtower's protective action).
+
+        While paused the loop still drains the sink and grows the replay
+        buffer — nothing is lost — but no fine-tune/promote round fires
+        until resumed.  ``run_round_now`` stays available as an explicit
+        operator override.
+        """
+        with self._lock:
+            self._promotions_paused = bool(paused)
+            self._pause_reason = reason if paused else None
+        if not paused:
+            self._wake.set()
+
+    @property
+    def promotions_paused(self) -> bool:
+        with self._lock:
+            return self._promotions_paused
+
+    @property
+    def pause_reason(self) -> str | None:
+        with self._lock:
+            return self._pause_reason
 
     def run_round_now(self) -> "PromotionDecision | None":
         """Ingest pending experience and run one round immediately.
@@ -360,6 +390,8 @@ class OnlineTrainerLoop:
                 trained_examples=self._trained_examples,
                 last_round_seconds=self._last_round_seconds,
                 cost_trend=list(self._cost_trend),
+                promotions_paused=self._promotions_paused,
+                pause_reason=self._pause_reason,
             )
 
     # ------------------------------------------------------------------ #

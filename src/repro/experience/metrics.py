@@ -34,6 +34,9 @@ class ExperienceMetrics:
         last_round_seconds: Wall-clock duration of the most recent round.
         cost_trend: Windowed mean executed cost per round (oldest first) —
             the "regressions trend down" series.
+        promotions_paused: Whether the watchtower has gated autonomous
+            rounds (experience still accumulates while paused).
+        pause_reason: The alert (or operator note) behind the pause.
     """
 
     running: bool = False
@@ -47,6 +50,8 @@ class ExperienceMetrics:
     trained_examples: int = 0
     last_round_seconds: float = 0.0
     cost_trend: list[float] = field(default_factory=list)
+    promotions_paused: bool = False
+    pause_reason: str | None = None
 
     def to_json_dict(self) -> dict:
         """JSON-safe dict form (non-finite floats use the wire spellings)."""
@@ -67,5 +72,7 @@ class ExperienceMetrics:
                 "trained_examples": self.trained_examples,
                 "last_round_seconds": self.last_round_seconds,
                 "cost_trend": list(self.cost_trend),
+                "promotions_paused": self.promotions_paused,
+                "pause_reason": self.pause_reason,
             }
         )

@@ -4,9 +4,12 @@
 and scales it between ``min_workers`` and ``max_workers``.  The signal is
 the pool's in-flight queue depth *per routable worker*, smoothed with an
 EWMA so a single bursty frontier does not thrash the pool; the arrival
-rate (submits/second, also EWMA-smoothed) is tracked alongside for
-observability and scale-event context.  Three mechanisms keep decisions
-calm:
+rate (submits/second, also EWMA-smoothed) feeds a **slope signal**: when
+arrivals are accelerating past ``slope_up_threshold`` the up-hold
+requirement collapses to ``slope_up_hold_samples``, so a genuine traffic
+ramp adds capacity a few control periods earlier than the steady-state
+hold would (the ROADMAP item-2 follow-up).  Three mechanisms keep
+decisions calm:
 
 - **hysteresis** — scale up only above ``high_watermark``, down only below
   ``low_watermark``; the band between them is dead;
@@ -53,6 +56,11 @@ class AutoscalerConfig:
         down_hold_samples: Consecutive below-watermark samples before a
             scale-down fires (deliberately much larger than the up hold).
         cooldown_seconds: Minimum spacing between any two scale events.
+        slope_up_threshold: Arrival-rate acceleration (requests/second per
+            second, EWMA-smoothed) at or above which the up hold collapses
+            to ``slope_up_hold_samples``.  ``inf`` disables the signal.
+        slope_up_hold_samples: The reduced up hold while arrivals are
+            accelerating (still >= 1 so one noisy sample cannot scale).
     """
 
     min_workers: int = 1
@@ -64,6 +72,8 @@ class AutoscalerConfig:
     up_hold_samples: int = 2
     down_hold_samples: int = 20
     cooldown_seconds: float = 0.5
+    slope_up_threshold: float = 1.0
+    slope_up_hold_samples: int = 1
 
     def __post_init__(self) -> None:
         if self.min_workers < 1:
@@ -74,6 +84,10 @@ class AutoscalerConfig:
             raise ValueError("low_watermark must be below high_watermark")
         if self.up_hold_samples < 1 or self.down_hold_samples < 1:
             raise ValueError("hold sample counts must be >= 1")
+        if self.slope_up_threshold <= 0:
+            raise ValueError("slope_up_threshold must be positive")
+        if self.slope_up_hold_samples < 1:
+            raise ValueError("slope_up_hold_samples must be >= 1")
 
 
 class PoolAutoscaler:
@@ -93,6 +107,7 @@ class PoolAutoscaler:
         self._clock = clock
         self.depth_ewma = 0.0
         self.arrival_rate_ewma = 0.0
+        self.arrival_slope_ewma = 0.0
         self._last_time: float | None = None
         self._last_submitted: int | None = None
         self._last_scale: float | None = None
@@ -112,9 +127,15 @@ class PoolAutoscaler:
         depth = self._pool.queue_depth()
         submitted = self._pool.submitted_count()
         if self._last_time is not None and now > self._last_time:
-            rate = (submitted - self._last_submitted) / (now - self._last_time)
+            dt = now - self._last_time
+            rate = (submitted - self._last_submitted) / dt
+            previous_rate = self.arrival_rate_ewma
             self.arrival_rate_ewma += config.ewma_alpha * (
                 rate - self.arrival_rate_ewma
+            )
+            slope = (self.arrival_rate_ewma - previous_rate) / dt
+            self.arrival_slope_ewma += config.ewma_alpha * (
+                slope - self.arrival_slope_ewma
             )
         self._last_time = now
         self._last_submitted = submitted
@@ -136,8 +157,14 @@ class PoolAutoscaler:
             self._last_scale is None
             or now - self._last_scale >= config.cooldown_seconds
         )
+        # Accelerating arrivals shorten the up hold: the queue is deep AND
+        # getting deeper faster, so waiting out the full steady-state hold
+        # just converts the ramp into latency.
+        required_up = config.up_hold_samples
+        if self.arrival_slope_ewma >= config.slope_up_threshold:
+            required_up = min(required_up, config.slope_up_hold_samples)
         if (
-            self._up_streak >= config.up_hold_samples
+            self._up_streak >= required_up
             and workers < config.max_workers
             and cooled
             and self._pool.scale_up()

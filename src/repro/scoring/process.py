@@ -128,9 +128,45 @@ def _scorer_main(
     """
     from repro.lifecycle.snapshot import ModelSnapshot
     from repro.telemetry.logging import maybe_configure_from_env, set_log_context
+    from repro.telemetry.profiling import (
+        SamplingProfiler,
+        hz_from_env,
+        profiling_disabled_by_env,
+        write_profile_atomic,
+    )
 
     set_log_context(process=f"scorer-{worker_id}")
     maybe_configure_from_env()
+
+    # Continuous profiling: sample this scorer's stacks and publish them as
+    # an atomic spool-dir file the parent merges into ``GET /v1/profile``.
+    # The filename carries the pid so a respawned worker in the same slot
+    # does not fight its predecessor's final write.
+    profiler: SamplingProfiler | None = None
+    profile_stop = threading.Event()
+    if not profiling_disabled_by_env():
+        profiler = SamplingProfiler(
+            hz=hz_from_env(), process=f"scorer-{worker_id}"
+        )
+        profiler.start()
+        profile_path = os.path.join(
+            spool_dir, f"profile-scorer-{worker_id}-{os.getpid()}.json"
+        )
+
+        def _publish_profile() -> None:
+            try:
+                write_profile_atomic(profiler.snapshot(), profile_path)
+            except OSError:
+                pass  # spool dir mid-teardown
+
+        def _profile_pump() -> None:
+            while not profile_stop.wait(0.5):
+                _publish_profile()
+            _publish_profile()
+
+        threading.Thread(
+            target=_profile_pump, name="scorer-profile-pump", daemon=True
+        ).start()
     request_ring = (
         ShmRingBuffer(request_ring_name) if request_ring_name is not None else None
     )
@@ -239,6 +275,9 @@ def _scorer_main(
         if task is None:
             break
         serve(task)
+    profile_stop.set()
+    if profiler is not None:
+        profiler.stop()
     if request_ring is not None:
         request_ring.close()
     if result_ring is not None:
@@ -941,6 +980,34 @@ class ProcessPoolBackend:
             0 if dead else int(process.is_alive())
             for dead, process in zip(self._dead, self._processes)
         )
+
+    def profiles(self) -> list[dict]:
+        """Sampling profiles published by live (and recent) scorer processes.
+
+        Scorers atomically rewrite ``profile-scorer-<id>-<pid>.json`` in the
+        spool directory every half second; this just reads whatever is
+        there.  Unreadable or torn files (a scorer mid-crash) are skipped.
+        """
+        import json
+
+        profiles: list[dict] = []
+        try:
+            names = sorted(os.listdir(self._spool_dir))
+        except OSError:
+            return profiles
+        for name in names:
+            if not (name.startswith("profile-") and name.endswith(".json")):
+                continue
+            try:
+                with open(
+                    os.path.join(self._spool_dir, name), encoding="utf-8"
+                ) as handle:
+                    profile = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(profile, dict):
+                profiles.append(profile)
+        return profiles
 
     def stats(self) -> ScoringBridgeStats:
         """Counters plus point-in-time pool gauges.

@@ -25,8 +25,15 @@ Endpoints:
   registry (service, scoring, cache, shadow, sharding, experience).
 - ``GET /v1/traces`` — the recent-request trace ring and the slow-request
   log (span trees across threads, scorer processes and the shared cache).
+- ``GET /v1/traces/<trace_id>`` — resolve one trace id (from a JSON log
+  line or alert annotation) to its full span tree.
 - ``GET /v1/metrics/stream`` — server-sent events: periodic metric samples
-  plus lifecycle events (promotions, rollbacks, scorer respawns).
+  plus lifecycle events (promotions, rollbacks, scorer respawns) and
+  ``event: alert`` frames as SLO alerts fire and resolve.
+- ``GET /v1/profile`` — merged continuous-profiling flamegraph (this
+  process's sampler plus every scorer process's).
+- ``GET /v1/alerts`` — the watchtower's SLO burn-rate alert state
+  (pending/firing/recently-resolved, objectives, windows).
 
 Boot-time restore: given a registry (typically
 ``ModelRegistry.load_persisted(persist_dir)``), the gateway swaps the
@@ -47,7 +54,15 @@ from repro.server.handlers import GatewayHTTPServer, GatewayRequestHandler
 from repro.server.wire import WireFormatError, plan_request_from_json_dict
 from repro.service.service import PlannerService, ServiceResponse
 from repro.sql.query import Query
+from repro.telemetry.alerts import AlertManager
 from repro.telemetry.events import emit_event, get_event_bus
+from repro.telemetry.profiling import (
+    flamegraph_from_profile,
+    get_profiler,
+    merge_profiles,
+    start_profiler,
+    stop_profiler,
+)
 from repro.telemetry.publish import GatewayTelemetry
 from repro.telemetry.trace import get_tracer, span as trace_span
 
@@ -75,7 +90,10 @@ KNOWN_PATHS = frozenset(
         "/v1/experience",
         "/metrics",
         "/v1/traces",
+        "/v1/traces/<trace_id>",
         "/v1/metrics/stream",
+        "/v1/profile",
+        "/v1/alerts",
     }
 )
 
@@ -115,6 +133,15 @@ class PlanningServer:
             :class:`~repro.server.sharding.ShardedGateway`; surfaces in
             ``/healthz`` bodies and as an ``X-Repro-Worker`` response header
             on every reply.  None (the default) for a standalone gateway.
+        alerts: The watchtower.  ``True`` (default) builds an
+            :class:`~repro.telemetry.alerts.AlertManager` over the stock SLO
+            objectives; pass a pre-built manager to control windows and
+            thresholds (tests), or ``False``/``None`` to disable alerting.
+            Firing alerts pause online-trainer promotions and tighten the
+            traffic shadower's bounds; recovery restores both.
+        profile: Run the continuous sampling profiler in this process while
+            the gateway is serving (``GET /v1/profile``); the
+            ``REPRO_PROFILE=0`` environment kill switch overrides.
     """
 
     def __init__(
@@ -133,6 +160,8 @@ class PlanningServer:
         restore_serving: bool = True,
         verbose: bool = False,
         worker_id: int | None = None,
+        alerts: "AlertManager | bool | None" = True,
+        profile: bool = True,
     ):
         self.service = service
         self.worker_id = worker_id
@@ -168,6 +197,20 @@ class PlanningServer:
         self.event_bus = get_event_bus()
         #: Set on close(); open SSE streams drain out within one poll slice.
         self.stopping_streams = threading.Event()
+        #: The watchtower: SLO burn-rate alerting + protective actions.
+        self.alerts: "AlertManager | None"
+        if alerts is True:
+            self.alerts = AlertManager()
+        elif alerts:
+            self.alerts = alerts
+        else:
+            self.alerts = None
+        if self.alerts is not None:
+            if self.alerts.snapshot_fn is None:
+                self.alerts.snapshot_fn = self.telemetry_snapshot
+            self.alerts.add_listener(self._on_alert_change)
+        self._profile = profile
+        self._profiler_acquired = False
         self.restored_serving_version: int | None = None
         if restore_serving:
             self._restore_serving()
@@ -241,6 +284,16 @@ class PlanningServer:
             daemon=True,
         )
         self._serve_thread.start()
+        if self._profile and not self._profiler_acquired:
+            label = (
+                "gateway"
+                if self.worker_id is None
+                else f"gateway-w{self.worker_id}"
+            )
+            if start_profiler(process=label) is not None:
+                self._profiler_acquired = True
+        if self.alerts is not None:
+            self.alerts.start()
         return self
 
     @property
@@ -265,6 +318,11 @@ class PlanningServer:
             return
         self._closed = True
         self.stopping_streams.set()
+        if self.alerts is not None:
+            self.alerts.stop()
+        if self._profiler_acquired:
+            self._profiler_acquired = False
+            stop_profiler()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -526,6 +584,87 @@ class PlanningServer:
         payload["worker_id"] = self.worker_id
         return 200, payload
 
+    def handle_trace_lookup(self, trace_id: str) -> tuple[int, dict]:
+        """``GET /v1/traces/<trace_id>`` — resolve one trace id directly."""
+        trace = get_tracer().find(trace_id)
+        if trace is None:
+            return 404, {
+                "error": f"trace {trace_id!r} not found (evicted or never recorded)",
+                "kind": "unknown_trace",
+            }
+        return 200, {"trace": trace.to_json_dict(), "worker_id": self.worker_id}
+
+    # ------------------------------------------------------------------ #
+    # Routes: the watchtower
+    # ------------------------------------------------------------------ #
+    def profile_snapshot(self) -> dict:
+        """This worker's merged profile: own sampler plus scorer processes.
+
+        The dict sharded workers attach to their telemetry push frames, and
+        the single-process body of ``GET /v1/profile``.
+        """
+        profiles: list[dict] = []
+        profiler = get_profiler()
+        if profiler is not None:
+            profiles.append(profiler.snapshot())
+        for service in self.planner_services().values():
+            scoring_profiles = getattr(service, "scoring_profiles", None)
+            if callable(scoring_profiles):
+                profiles.extend(scoring_profiles())
+        return merge_profiles(profiles)
+
+    def handle_profile(self) -> tuple[int, dict]:
+        """``GET /v1/profile`` — flamegraph-ready merged profile JSON."""
+        profile = self.profile_snapshot()
+        return 200, {
+            "worker_id": self.worker_id,
+            "profile": profile,
+            "flamegraph": flamegraph_from_profile(profile),
+        }
+
+    def handle_alerts(self) -> tuple[int, dict]:
+        """``GET /v1/alerts`` — the watchtower's alert state."""
+        if self.alerts is None:
+            return 503, {
+                "error": "gateway has no alert manager (constructed with alerts=False)",
+                "kind": "unavailable",
+            }
+        payload = self.alerts.to_json_dict()
+        payload["worker_id"] = self.worker_id
+        payload["health_score"] = self.health_score()
+        return 200, payload
+
+    def health_score(self) -> float:
+        """Composite health in [0, 1]: 1.0 with no active alerts, each
+        firing alert costs 0.4 and each pending alert 0.1 (floored at 0)."""
+        if self.alerts is None:
+            return 1.0
+        firing = len(self.alerts.firing())
+        pending = len(self.alerts.pending())
+        return max(0.0, 1.0 - 0.4 * firing - 0.1 * pending)
+
+    def _on_alert_change(self, manager: "AlertManager") -> None:
+        """Protective actions: runs after any alert state transition.
+
+        While any alert is firing, autonomous promotions are paused (the
+        loop keeps learning, it just cannot ship) and the traffic
+        shadower's regression bounds tighten; full recovery reverses both.
+        """
+        firing = manager.firing()
+        burning = bool(firing)
+        if self.experience is not None:
+            try:
+                self.experience.set_promotions_paused(
+                    burning, reason=",".join(firing) if burning else None
+                )
+            except Exception:  # noqa: BLE001 - actions must not stop alerting
+                pass
+        if self.shadower is not None:
+            try:
+                self.shadower.set_degraded(burning)
+            except Exception:  # noqa: BLE001 - actions must not stop alerting
+                pass
+
     def stream_sample(self) -> dict:
         """One ``event: metrics`` SSE sample: headline gauges, cheap to emit."""
         metrics = self.service.metrics()
@@ -541,6 +680,8 @@ class PlanningServer:
                 self.registry.serving_version if self.registry is not None else None
             ),
             "shadow_armed": self.shadower.armed if self.shadower else False,
+            "health_score": self.health_score(),
+            "alerts_firing": len(self.alerts.firing()) if self.alerts else 0,
             "worker_id": self.worker_id,
         }
 
@@ -743,12 +884,27 @@ class PlanningServer:
             pass
 
     def handle_health(self) -> tuple[int, dict]:
-        """``GET /healthz``."""
+        """``GET /healthz`` — liveness plus the composite health score.
+
+        Always 200 while the process serves (liveness); the body's
+        ``health_score``/``status`` carry the watchtower's judgment, which
+        the sharded supervisor aggregates fleet-wide (min over workers).
+        """
         planners = [DEFAULT_PLANNER]
         if self.planner_registry is not None:
             planners += sorted(self.planner_registry.available())
+        score = self.health_score()
+        if score >= 0.8:
+            status = "ok"
+        elif score >= 0.4:
+            status = "degraded"
+        else:
+            status = "unhealthy"
         return 200, {
-            "status": "ok",
+            "status": status,
+            "health_score": score,
+            "alerts_firing": self.alerts.firing() if self.alerts else [],
+            "alerts_pending": self.alerts.pending() if self.alerts else [],
             "worker_id": self.worker_id,
             "pending_requests": self.service.pending_requests,
             "serving_version": (

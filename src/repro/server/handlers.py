@@ -113,12 +113,23 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         if path == "/metrics":
             self._serve_prometheus()
             return
+        if path.startswith("/v1/traces/"):
+            trace_id = path[len("/v1/traces/") :]
+            # Counted under one canonical bucket: per-id paths must not grow
+            # the endpoint counters without bound.
+            self._run_route(
+                "/v1/traces/<trace_id>",
+                lambda: self.gateway.handle_trace_lookup(trace_id),
+            )
+            return
         routes: dict[str, Callable[[], RouteResult]] = {
             "/healthz": self.gateway.handle_health,
             "/v1/metrics": self.gateway.handle_metrics,
             "/v1/models": self.gateway.handle_models,
             "/v1/experience": self.gateway.handle_experience,
             "/v1/traces": self.gateway.handle_traces,
+            "/v1/profile": self.gateway.handle_profile,
+            "/v1/alerts": self.gateway.handle_alerts,
         }
         self._dispatch(routes)
 
@@ -340,7 +351,8 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             while True:
                 events, cursor = bus.since(cursor)
                 for event in events:
-                    self._write_sse("lifecycle", event.to_json_dict())
+                    frame = "alert" if event.kind == "alert" else "lifecycle"
+                    self._write_sse(frame, event.to_json_dict())
                     sent += 1
                     if max_events and sent >= max_events:
                         return

@@ -78,6 +78,10 @@ class ShadowTrafficStats:
             (total candidate cost / total baseline cost; 0 when empty).
         worst_regression: Largest single-query regression in the window.
         window_samples: Live samples currently in the rolling window.
+        degraded: Whether the watchtower has tightened the bounds (a firing
+            SLO alert shrinks the tolerated regression).
+        effective_max_regression: The per-query bound currently enforced.
+        effective_max_total_regression: The window bound currently enforced.
     """
 
     observed: int = 0
@@ -92,6 +96,9 @@ class ShadowTrafficStats:
     rolling_regression: float = 0.0
     worst_regression: float = 0.0
     window_samples: int = 0
+    degraded: bool = False
+    effective_max_regression: float = 0.0
+    effective_max_total_regression: float = 0.0
 
     def to_json_dict(self) -> dict:
         """JSON-safe dict form (non-finite floats use the wire spellings)."""
@@ -162,6 +169,8 @@ class TrafficShadower:
         self.sample_fraction = sample_fraction
         self.max_regression = max_regression
         self.max_total_regression = max_total_regression
+        self._degraded = False
+        self.degraded_factor = 0.5
         self.min_samples = min_samples
         self.window = window
         self.planner = planner or BeamSearchPlanner()
@@ -268,6 +277,45 @@ class TrafficShadower:
             return self._armed
 
     # ------------------------------------------------------------------ #
+    # Watchtower protective action
+    # ------------------------------------------------------------------ #
+    def set_degraded(self, degraded: bool, *, factor: float | None = None) -> None:
+        """Tighten (or restore) the regression bounds under degraded health.
+
+        While degraded, both bounds shrink toward 1.0 by ``degraded_factor``
+        — excess-over-parity is scaled, so a 2.0x per-query bound becomes
+        1.5x at factor 0.5 and a 1.25x window bound becomes 1.125x.  The
+        configured bounds are never mutated; recovery restores them exactly.
+        """
+        if factor is not None:
+            if not 0.0 < factor <= 1.0:
+                raise ValueError("factor must be in (0, 1]")
+            self.degraded_factor = factor
+        wake = False
+        with self._lock:
+            if self._degraded != bool(degraded):
+                self._degraded = bool(degraded)
+                wake = self._degraded and self._armed
+        if wake:
+            # Nudge the shadow loop so the sampled backlog is judged under
+            # the tighter bounds promptly rather than on the next timeout.
+            self._wake.set()
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._degraded
+
+    def _effective_bounds_locked(self) -> tuple[float, float]:
+        if not self._degraded:
+            return self.max_regression, self.max_total_regression
+        factor = self.degraded_factor
+        return (
+            1.0 + max(self.max_regression - 1.0, 0.0) * factor,
+            1.0 + max(self.max_total_regression - 1.0, 0.0) * factor,
+        )
+
+    # ------------------------------------------------------------------ #
     # Shadow loop
     # ------------------------------------------------------------------ #
     def _run(self) -> None:
@@ -330,17 +378,18 @@ class TrafficShadower:
         workload, applied to what users actually ran: per-query worst case,
         and cost-weighted window total.
         """
+        max_regression, max_total_regression = self._effective_bounds_locked()
         worst = max(self._window, key=lambda p: p.regression)
-        if worst.regression > self.max_regression:
+        if worst.regression > max_regression:
             return (
                 f"sampled request {worst.query_name!r} regressed "
-                f"{worst.regression:.3f}x > {self.max_regression:.3f}x"
+                f"{worst.regression:.3f}x > {max_regression:.3f}x"
             )
         total = self._window_total_locked()
-        if total > self.max_total_regression:
+        if total > max_total_regression:
             return (
                 f"window total cost regressed {total:.3f}x > "
-                f"{self.max_total_regression:.3f}x"
+                f"{max_total_regression:.3f}x"
             )
         return None
 
@@ -358,6 +407,7 @@ class TrafficShadower:
             baseline_version = self._baseline_version
             probes = list(self._window)
             total = self._window_total_locked()
+            max_regression, max_total_regression = self._effective_bounds_locked()
             # Disarm first: the rollback below swaps the serving version, and
             # further shadow verdicts against a retired pair are meaningless.
             self._armed = False
@@ -373,9 +423,9 @@ class TrafficShadower:
             ),
             probes=probes,
             max_regression=max((p.regression for p in probes), default=0.0),
-            regression_threshold=self.max_regression,
+            regression_threshold=max_regression,
             total_regression=total,
-            total_threshold=self.max_total_regression,
+            total_threshold=max_total_regression,
         )
         from repro.lifecycle.snapshot import LifecycleError
 
@@ -441,6 +491,7 @@ class TrafficShadower:
         """A snapshot of the shadow-loop counters."""
         with self._lock:
             window = list(self._window)
+            effective_max, effective_total = self._effective_bounds_locked()
             return ShadowTrafficStats(
                 observed=self._observed,
                 sampled=self._sampled,
@@ -456,6 +507,9 @@ class TrafficShadower:
                     (p.regression for p in window), default=0.0
                 ),
                 window_samples=len(window),
+                degraded=self._degraded,
+                effective_max_regression=effective_max,
+                effective_max_total_regression=effective_total,
             )
 
     def close(self) -> None:

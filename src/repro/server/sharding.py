@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.service.cache import ServicePlanCache, TieredPlanCache
 from repro.telemetry.metrics import MetricsRegistry, merge_snapshots, render_snapshot
+from repro.telemetry.profiling import flamegraph_from_profile, merge_profiles
 from repro.telemetry.trace import add_span, current_trace_id, span as trace_span
 
 if TYPE_CHECKING:
@@ -817,16 +818,19 @@ class TelemetrySnapshotServer:
     The sharded workers share one HTTP port the kernel load-balances, so the
     supervisor cannot scrape an *individual* worker over HTTP — each worker
     instead pushes its :meth:`PlanningServer.telemetry_snapshot` here
-    (length-prefixed JSON frames ``{"worker_id": ..., "snapshot": ...}``).
-    The sink keeps the latest snapshot per worker slot; the supervisor's
-    fleet ``/metrics`` merges them with
-    :func:`repro.telemetry.metrics.merge_snapshots`.
+    (length-prefixed JSON frames ``{"worker_id": ..., "snapshot": ...}`` with
+    an optional ``"profile"`` carrying the worker's sampling profile).  The
+    sink keeps the latest snapshot and profile per worker slot; the
+    supervisor's fleet ``/metrics`` merges snapshots with
+    :func:`repro.telemetry.metrics.merge_snapshots` and its ``/v1/profile``
+    merges profiles with :func:`repro.telemetry.profiling.merge_profiles`.
     """
 
     def __init__(self, address):
         self.address = address
         self._lock = threading.Lock()
         self._latest: dict[int, dict] = {}
+        self._profiles: dict[int, dict] = {}
         self._received = 0
         self._connections: set[socket.socket] = set()
         self._conn_lock = threading.Lock()
@@ -908,8 +912,11 @@ class TelemetrySnapshotServer:
                 except (UnicodeDecodeError, ValueError, KeyError, TypeError):
                     _send_frame(conn, _REPLY_ERROR + b"malformed snapshot")
                     continue
+                profile = message.get("profile")
                 with self._lock:
                     self._latest[worker_id] = snapshot
+                    if isinstance(profile, dict):
+                        self._profiles[worker_id] = profile
                     self._received += 1
                 _send_frame(conn, _REPLY_OK)
         except (ConnectionError, OSError, struct.error):
@@ -930,6 +937,11 @@ class TelemetrySnapshotServer:
     def worker_ids(self) -> "list[int]":
         with self._lock:
             return sorted(self._latest)
+
+    def profiles(self) -> "list[dict]":
+        """The latest sampling profile from every worker that pushed one."""
+        with self._lock:
+            return [self._profiles[wid] for wid in sorted(self._profiles)]
 
     def stats(self) -> dict:
         with self._lock:
@@ -954,12 +966,14 @@ class TelemetryPushClient:
         worker_id: int,
         snapshot_fn: "Callable[[], dict]",
         *,
+        profile_fn: "Callable[[], dict] | None" = None,
         interval_seconds: float = 0.25,
         timeout: float = 2.0,
     ):
         self.address = address
         self.worker_id = worker_id
         self.snapshot_fn = snapshot_fn
+        self.profile_fn = profile_fn
         self.interval_seconds = interval_seconds
         self.timeout = timeout
         self._sock: socket.socket | None = None
@@ -986,9 +1000,15 @@ class TelemetryPushClient:
     def push(self) -> bool:
         """One snapshot push (also called directly by tests)."""
         try:
-            payload = json.dumps(
-                {"worker_id": self.worker_id, "snapshot": self.snapshot_fn()}
-            ).encode("utf-8")
+            message = {"worker_id": self.worker_id, "snapshot": self.snapshot_fn()}
+            if self.profile_fn is not None:
+                try:
+                    profile = self.profile_fn()
+                except Exception:  # noqa: BLE001 - profiling rides along best-effort
+                    profile = None
+                if isinstance(profile, dict):
+                    message["profile"] = profile
+            payload = json.dumps(message).encode("utf-8")
         except Exception:  # noqa: BLE001 - telemetry must not kill the worker
             self._errors += 1
             return False
@@ -1114,7 +1134,10 @@ def _sharded_worker_main(
     telemetry_client = None
     if spec.telemetry_address is not None:
         telemetry_client = TelemetryPushClient(
-            spec.telemetry_address, spec.worker_id, gateway.telemetry_snapshot
+            spec.telemetry_address,
+            spec.worker_id,
+            gateway.telemetry_snapshot,
+            profile_fn=getattr(gateway, "profile_snapshot", None),
         ).start()
     gateway.start(reuse_port=listen_socket is None, listen_socket=listen_socket)
     message = json.dumps(
@@ -1342,14 +1365,15 @@ class ShardedGateway:
         class _FleetMetricsHandler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 - http.server API
                 path = self.path.split("?", 1)[0]
-                if path not in ("/metrics", "/healthz"):
+                if path not in ("/metrics", "/healthz", "/v1/profile"):
                     self.send_error(404)
                     return
                 try:
                     if path == "/healthz":
-                        body = json.dumps(
-                            {"status": "ok", "role": "shard-supervisor"}
-                        ).encode("utf-8")
+                        body = json.dumps(shard.fleet_health()).encode("utf-8")
+                        content_type = "application/json"
+                    elif path == "/v1/profile":
+                        body = json.dumps(shard.fleet_profile()).encode("utf-8")
                         content_type = "application/json"
                     else:
                         body = shard.fleet_metrics_text().encode("utf-8")
@@ -1669,6 +1693,58 @@ class ShardedGateway:
     def fleet_metrics_text(self) -> str:
         """The fleet-merged snapshot in Prometheus text exposition format."""
         return render_snapshot(self.fleet_metrics_snapshot())
+
+    def fleet_health(self) -> dict:
+        """Fleet-wide health: the *worst* worker's composite score.
+
+        Each worker publishes its composite ``repro_health_score`` gauge with
+        ``aggregation="min"``, so the fleet merge already yields the minimum
+        across workers — a single degraded worker degrades the shard's
+        reported status.  Before any worker has pushed a snapshot the score
+        defaults to 1.0 (liveness alone is what :meth:`start` awaited).
+        """
+        score = 1.0
+        try:
+            merged = self.fleet_metrics_snapshot()
+            for entry in merged.get("metrics", []):
+                if entry.get("name") == "repro_health_score":
+                    value = entry.get("value")
+                    if isinstance(value, (int, float)):
+                        score = min(score, float(value))
+        except Exception:  # noqa: BLE001 - health must not raise
+            pass
+        if score >= 0.8:
+            status = "ok"
+        elif score >= 0.4:
+            status = "degraded"
+        else:
+            status = "unhealthy"
+        return {
+            "status": status,
+            "role": "shard-supervisor",
+            "health_score": score,
+            "alive_workers": self.alive_workers(),
+            "workers_reporting": (
+                len(self.telemetry_server.worker_ids())
+                if self.telemetry_server is not None
+                else 0
+            ),
+        }
+
+    def fleet_profile(self) -> dict:
+        """Fleet-merged sampling profile plus its flamegraph tree."""
+        profiles = (
+            self.telemetry_server.profiles()
+            if self.telemetry_server is not None
+            else []
+        )
+        merged = merge_profiles(profiles)
+        return {
+            "role": "shard-supervisor",
+            "workers_profiled": len(profiles),
+            "profile": merged,
+            "flamegraph": flamegraph_from_profile(merged),
+        }
 
     def stats(self) -> dict:
         """Supervisor-side view: liveness, respawns, health, tier counters."""

@@ -492,6 +492,21 @@ class PlannerService:
     # ------------------------------------------------------------------ #
     # Metrics
     # ------------------------------------------------------------------ #
+    def scoring_profiles(self) -> list[dict]:
+        """Sampling profiles from the scoring backend's processes, if any.
+
+        Backends without continuous profiling (inproc, threaded) simply
+        contribute nothing; the gateway merges whatever comes back into
+        ``GET /v1/profile``.
+        """
+        profiles = getattr(self._scoring, "profiles", None)
+        if not callable(profiles):
+            return []
+        try:
+            return list(profiles())
+        except Exception:  # noqa: BLE001 - observability must not fail serving
+            return []
+
     def metrics(self) -> ServiceMetrics:
         """Aggregate report over every request handled so far."""
         with self._metrics_lock:

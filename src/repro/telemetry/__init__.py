@@ -1,27 +1,38 @@
-"""Telemetry: request tracing, unified metrics, lifecycle events, JSON logs.
+"""Telemetry: tracing, metrics, events, logs, profiling, SLOs and alerts.
 
-Three independent pillars, all stdlib-only and all safe to leave enabled:
+Independent pillars, all stdlib-only and all safe to leave enabled:
 
 - :mod:`repro.telemetry.trace` — per-request span trees carried across the
   gateway thread pool (contextvars), the scorer processes (wire wrapper) and
   the shared-cache socket (traced frames); a bounded ring behind
-  ``GET /v1/traces``.
+  ``GET /v1/traces`` plus single-trace lookup at ``GET /v1/traces/<id>``.
 - :mod:`repro.telemetry.metrics` — counters/gauges/histograms published at
   scrape time from the existing per-subsystem stat blocks; Prometheus text
   behind ``GET /metrics``; snapshots mergeable across a sharded fleet.
 - :mod:`repro.telemetry.events` — bounded lifecycle event bus (promotions,
-  rollbacks, scorer respawns) feeding the ``GET /v1/metrics/stream`` SSE
-  endpoint.
+  rollbacks, scorer respawns, alerts) feeding the ``GET /v1/metrics/stream``
+  SSE endpoint.
+- :mod:`repro.telemetry.profiling` — low-overhead sampling wall profiler
+  (folded stacks, flamegraph JSON) behind ``GET /v1/profile``.
+- :mod:`repro.telemetry.slo` — declarative SLO objectives evaluated against
+  live registry snapshots with multi-window burn-rate math.
+- :mod:`repro.telemetry.alerts` — the pending/firing/resolved alert state
+  machine behind ``GET /v1/alerts``, publishing to the event bus and driving
+  the gateway's protective actions.
 
 :mod:`repro.telemetry.logging` adds one-line-JSON structured logging shared
-by gateway, supervisor and scorer processes.
+by gateway, supervisor and scorer processes, with optional token-bucket rate
+limiting (``REPRO_LOG_RATE``).
 """
 
+from repro.telemetry.alerts import Alert, AlertManager
 from repro.telemetry.events import Event, EventBus, emit_event, get_event_bus
 from repro.telemetry.logging import (
     JsonLogFormatter,
+    RateLimitFilter,
     configure_json_logging,
     get_log_context,
+    logs_suppressed_total,
     maybe_configure_from_env,
     set_log_context,
 )
@@ -35,7 +46,22 @@ from repro.telemetry.metrics import (
     merge_snapshots,
     render_snapshot,
 )
+from repro.telemetry.profiling import (
+    SamplingProfiler,
+    flamegraph_from_profile,
+    get_profiler,
+    merge_profiles,
+    start_profiler,
+    stop_profiler,
+)
 from repro.telemetry.publish import GatewayTelemetry
+from repro.telemetry.slo import (
+    SeriesIndex,
+    SloEvaluator,
+    SloObjective,
+    SloStatus,
+    default_slo_objectives,
+)
 from repro.telemetry.trace import (
     Span,
     Trace,
@@ -53,6 +79,8 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertManager",
     "Counter",
     "DEFAULT_BUCKETS",
     "Event",
@@ -62,6 +90,12 @@ __all__ = [
     "Histogram",
     "JsonLogFormatter",
     "MetricsRegistry",
+    "RateLimitFilter",
+    "SamplingProfiler",
+    "SeriesIndex",
+    "SloEvaluator",
+    "SloObjective",
+    "SloStatus",
     "Span",
     "Trace",
     "Tracer",
@@ -69,19 +103,26 @@ __all__ = [
     "annotate",
     "configure_json_logging",
     "current_trace_id",
+    "default_slo_objectives",
     "emit_event",
     "enabled",
+    "flamegraph_from_profile",
     "get_event_bus",
     "get_log_context",
+    "get_profiler",
     "get_registry",
     "get_tracer",
+    "logs_suppressed_total",
     "maybe_configure_from_env",
+    "merge_profiles",
     "merge_snapshots",
     "new_trace_id",
     "render_snapshot",
     "set_enabled",
     "set_log_context",
     "span",
+    "start_profiler",
     "start_trace",
+    "stop_profiler",
     "valid_trace_id",
 ]

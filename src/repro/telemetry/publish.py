@@ -17,7 +17,11 @@ telemetry package stays a leaf with no upward imports.
 
 from __future__ import annotations
 
+import threading
+
+from repro.telemetry.logging import logs_suppressed_total
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import get_profiler
 from repro.telemetry.trace import get_tracer
 
 
@@ -53,12 +57,20 @@ class GatewayTelemetry:
     def __init__(self, registry: MetricsRegistry | None = None):
         self.registry = registry or MetricsRegistry()
         self._log_positions: dict[str, int] = {}
+        # Scrapes can now be concurrent (Prometheus, the sharded push
+        # client, and the watchtower's alert thread all collect): the
+        # request-log cursors must advance exactly once per drained entry.
+        self._collect_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Entry points
     # ------------------------------------------------------------------ #
     def collect(self, gateway) -> MetricsRegistry:
         """Publish every stat block the gateway can reach; returns the registry."""
+        with self._collect_lock:
+            return self._collect_locked(gateway)
+
+    def _collect_locked(self, gateway) -> MetricsRegistry:
         for name, service in gateway.planner_services().items():
             self._publish_service(name, service)
         self._publish_http(gateway)
@@ -86,7 +98,42 @@ class GatewayTelemetry:
         self.registry.counter(
             "repro_traces_recorded_total", "Completed request traces."
         ).set_total(tracer._recorded)
+        self._publish_watchtower(gateway)
         return self.registry
+
+    def _publish_watchtower(self, gateway) -> None:
+        """Alert/health/profiler/log-suppression series (the PR-10 layer)."""
+        reg = self.registry
+        alerts = getattr(gateway, "alerts", None)
+        if alerts is not None:
+            reg.gauge(
+                "repro_alerts_firing", "SLO alerts currently firing."
+            ).set(len(alerts.firing()))
+            reg.gauge(
+                "repro_alerts_pending", "SLO alerts currently pending."
+            ).set(len(alerts.pending()))
+        health_score = getattr(gateway, "health_score", None)
+        if callable(health_score):
+            # aggregation="min": the fleet merge reports the sickest worker.
+            reg.gauge(
+                "repro_health_score",
+                "Composite gateway health in [0, 1] (1 = no active alerts).",
+                aggregation="min",
+            ).set(health_score())
+        reg.counter(
+            "repro_logs_suppressed_total",
+            "Log lines dropped by the rate-limit filter.",
+        ).set_total(logs_suppressed_total())
+        profiler = get_profiler()
+        if profiler is not None:
+            profile = profiler.snapshot()
+            reg.counter(
+                "repro_profiler_samples_total",
+                "Sampling-profiler passes taken in this process.",
+            ).set_total(profile["samples"])
+            reg.gauge(
+                "repro_profiler_hz", "Configured profiler sampling rate."
+            ).set(profile["hz"])
 
     def snapshot(self, gateway) -> dict:
         return self.collect(gateway).snapshot()
@@ -372,6 +419,11 @@ class GatewayTelemetry:
             "repro_experience_last_round_seconds",
             "Duration of the most recent round.", aggregation="max",
         ).set(metrics.last_round_seconds)
+        reg.gauge(
+            "repro_experience_promotions_paused",
+            "Whether the watchtower has gated autonomous promotions.",
+            aggregation="max",
+        ).set(int(getattr(metrics, "promotions_paused", False)))
         if metrics.cost_trend:
             reg.gauge(
                 "repro_experience_cost_trend_latest",

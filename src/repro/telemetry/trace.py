@@ -222,8 +222,16 @@ class Tracer:
             return list(self._slow)
 
     def find(self, trace_id: str) -> Trace | None:
+        """Resolve a trace id from the ring or the slow log.
+
+        The slow log outlives ring eviction for the worst traces, which is
+        exactly the set an alert annotation or JSON log line points at.
+        """
         with self._lock:
             for trace in reversed(self._ring):
+                if trace.trace_id == trace_id:
+                    return trace
+            for trace in self._slow:
                 if trace.trace_id == trace_id:
                     return trace
         return None

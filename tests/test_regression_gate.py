@@ -241,6 +241,7 @@ class TestCommittedBaselines:
                 "http_warm_p50_ms": 1.1,
                 "http_overhead_p50_ms": 1.0,
                 "telemetry_overhead_pct": 1.5,
+                "profiler_overhead_pct": 0.5,
             },
             name="bench_http_gateway",
         )
